@@ -1,0 +1,390 @@
+//! All-to-all block remapping shared by the migration baselines.
+//!
+//! MemPod, Chameleon and LGM all move 2 KB blocks between NM and FM and all
+//! need the same two pieces of machinery:
+//!
+//! * a **remap table** (block → current location) and **inverted table**
+//!   (NM slot → block), stored in NM, with an on-chip **remap cache** whose
+//!   capacity the paper fixes to the XTA's size for fairness, and
+//! * a **swap** primitive that exchanges an FM-resident block with an
+//!   NM-resident victim, charging both directions as migration traffic.
+//!
+//! Hybrid2's own remapping is different enough (free-FM stack, cache pool)
+//! that it lives in `hybrid2-core`; this module serves only the baselines.
+
+use dram::DramSystem;
+use mem_cache::{CacheConfig, SetAssocCache};
+use sim_types::{AccessKind, Cycle, MemSide, PAddr, TrafficClass};
+
+/// Where a flat block currently lives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlockLoc {
+    /// NM block slot index.
+    Nm(u64),
+    /// FM block slot index.
+    Fm(u64),
+}
+
+impl BlockLoc {
+    /// True when the block is in near memory.
+    pub fn is_nm(self) -> bool {
+        matches!(self, BlockLoc::Nm(_))
+    }
+}
+
+/// Shared remapping substrate for block-migration schemes.
+#[derive(Clone, Debug)]
+pub struct FlatRemap {
+    block_bytes: u64,
+    nm_blocks: u64,
+    fm_blocks: u64,
+    remap: Vec<BlockLoc>,
+    inverted: Vec<u64>,
+    remap_cache: SetAssocCache,
+    /// On-chip remap-cache hit latency in cycles.
+    cache_latency: u64,
+    /// Device byte address where the in-NM remap table begins (after the
+    /// data blocks).
+    meta_base: u64,
+    /// Swaps performed (each = one block in + one block out).
+    pub swaps: u64,
+    /// Remap lookups that had to read the in-NM table.
+    pub table_reads: u64,
+}
+
+impl FlatRemap {
+    /// Builds an identity-mapped flat space of `nm_blocks + fm_blocks`
+    /// blocks of `block_bytes` each, with an on-chip remap cache of
+    /// `remap_cache_bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or the remap cache shape is invalid.
+    pub fn new(block_bytes: u64, nm_blocks: u64, fm_blocks: u64, remap_cache_bytes: u64) -> Self {
+        assert!(block_bytes.is_power_of_two() && block_bytes >= 64);
+        assert!(nm_blocks > 0 && fm_blocks > 0);
+        let total = nm_blocks + fm_blocks;
+        let remap = (0..total)
+            .map(|b| {
+                if b < nm_blocks {
+                    BlockLoc::Nm(b)
+                } else {
+                    BlockLoc::Fm(b - nm_blocks)
+                }
+            })
+            .collect();
+        let inverted = (0..nm_blocks).collect();
+        // Remap-cache entries are 8 B; model it as a 4-way cache of 64 B
+        // lines over the table's address space (8 entries per line).
+        let cache_bytes = remap_cache_bytes.max(4 * 64);
+        let sets = (cache_bytes / (4 * 64)).next_power_of_two() / 2;
+        let cfg = CacheConfig::new(sets.max(1) * 4 * 64, 4, 64)
+            .expect("remap cache shape is valid by construction");
+        FlatRemap {
+            block_bytes,
+            nm_blocks,
+            fm_blocks,
+            remap,
+            inverted,
+            remap_cache: SetAssocCache::new(cfg),
+            cache_latency: 2,
+            meta_base: nm_blocks * block_bytes,
+            swaps: 0,
+            table_reads: 0,
+        }
+    }
+
+    /// Total flat capacity in bytes (NM + FM — migration keeps NM visible).
+    pub fn flat_capacity_bytes(&self) -> u64 {
+        (self.nm_blocks + self.fm_blocks) * self.block_bytes
+    }
+
+    /// Block size in bytes.
+    pub fn block_bytes(&self) -> u64 {
+        self.block_bytes
+    }
+
+    /// Number of NM block slots.
+    pub fn nm_blocks(&self) -> u64 {
+        self.nm_blocks
+    }
+
+    /// The flat block index containing `addr`.
+    pub fn block_of(&self, addr: PAddr) -> u64 {
+        addr.raw() / self.block_bytes
+    }
+
+    /// First NM device byte address past the in-NM remap table, block
+    /// aligned — where a scheme may place additional NM structures
+    /// (Chameleon's cache-mode region).
+    pub fn meta_end(&self) -> u64 {
+        let end = self.meta_base + (self.nm_blocks + self.fm_blocks) * 8;
+        end.next_multiple_of(self.block_bytes)
+    }
+
+    /// Current location of `block` *without* modelling lookup cost
+    /// (policy bookkeeping).
+    pub fn peek(&self, block: u64) -> BlockLoc {
+        self.remap[block as usize]
+    }
+
+    /// The flat block stored in NM slot `slot`.
+    pub fn block_at(&self, slot: u64) -> u64 {
+        self.inverted[slot as usize]
+    }
+
+    /// Looks up `block`'s location, charging the remap-cache latency on a
+    /// hit or an NM table read on a miss. Returns the location and the
+    /// cycle at which it is known.
+    pub fn locate(&mut self, block: u64, at: Cycle, dram: &mut DramSystem) -> (BlockLoc, Cycle) {
+        let entry_addr = block * 8;
+        let hit = self.remap_cache.access(entry_addr, false).hit;
+        let ready = if hit {
+            at + self.cache_latency
+        } else {
+            self.table_reads += 1;
+            dram.access(
+                MemSide::Nm,
+                self.meta_base + (entry_addr & !63),
+                64,
+                AccessKind::Read,
+                TrafficClass::Metadata,
+                at + self.cache_latency,
+            )
+        };
+        (self.remap[block as usize], ready)
+    }
+
+    /// Device byte address of a block location plus `offset`.
+    pub fn device_addr(&self, loc: BlockLoc, offset: u64) -> (MemSide, u64) {
+        debug_assert!(offset < self.block_bytes);
+        match loc {
+            BlockLoc::Nm(slot) => (MemSide::Nm, slot * self.block_bytes + offset),
+            BlockLoc::Fm(slot) => (MemSide::Fm, slot * self.block_bytes + offset),
+        }
+    }
+
+    /// Swaps FM-resident `fm_block` with the block occupying NM slot
+    /// `victim_slot`, charging 2 × block reads + 2 × block writes of
+    /// migration traffic plus a remap-table update, unless `skip_lines`
+    /// marks 64-byte lines of `fm_block` that need not be transferred
+    /// (LGM's LLC-present optimization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fm_block` is not FM-resident.
+    pub fn swap_into_nm(
+        &mut self,
+        fm_block: u64,
+        victim_slot: u64,
+        skip_lines: u64,
+        at: Cycle,
+        dram: &mut DramSystem,
+    ) {
+        let BlockLoc::Fm(fm_slot) = self.remap[fm_block as usize] else {
+            panic!("swap_into_nm called on an NM-resident block");
+        };
+        let victim_block = self.inverted[victim_slot as usize];
+        let lines = (self.block_bytes / 64) as u32;
+        let moved_in = lines - skip_lines.count_ones().min(lines);
+
+        // Inbound: FM -> NM (only the lines not skipped).
+        for i in 0..lines {
+            if skip_lines & (1 << i) != 0 {
+                continue;
+            }
+            let off = u64::from(i) * 64;
+            dram.access(
+                MemSide::Fm,
+                fm_slot * self.block_bytes + off,
+                64,
+                AccessKind::Read,
+                TrafficClass::Migration,
+                at,
+            );
+            dram.access(
+                MemSide::Nm,
+                victim_slot * self.block_bytes + off,
+                64,
+                AccessKind::Write,
+                TrafficClass::Migration,
+                at,
+            );
+        }
+        let _ = moved_in;
+        // Outbound: NM victim -> the vacated FM slot (full block; swaps move
+        // whole blocks out, the paper's "double the overheads of copying").
+        dram.burst(
+            MemSide::Nm,
+            victim_slot * self.block_bytes,
+            64,
+            lines,
+            AccessKind::Read,
+            TrafficClass::Migration,
+            at,
+        );
+        dram.burst(
+            MemSide::Fm,
+            fm_slot * self.block_bytes,
+            64,
+            lines,
+            AccessKind::Write,
+            TrafficClass::Migration,
+            at,
+        );
+
+        self.remap[fm_block as usize] = BlockLoc::Nm(victim_slot);
+        self.remap[victim_block as usize] = BlockLoc::Fm(fm_slot);
+        self.inverted[victim_slot as usize] = fm_block;
+        self.swaps += 1;
+
+        // Remap-table updates for both blocks.
+        dram.access(
+            MemSide::Nm,
+            self.meta_base + ((fm_block * 8) & !63),
+            64,
+            AccessKind::Write,
+            TrafficClass::Metadata,
+            at,
+        );
+        dram.access(
+            MemSide::Nm,
+            self.meta_base + ((victim_block * 8) & !63),
+            64,
+            AccessKind::Write,
+            TrafficClass::Metadata,
+            at,
+        );
+    }
+
+    /// Remap bijection check for tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut nm_seen = vec![false; self.nm_blocks as usize];
+        let mut fm_seen = vec![false; self.fm_blocks as usize];
+        for (b, loc) in self.remap.iter().enumerate() {
+            match *loc {
+                BlockLoc::Nm(s) => {
+                    if nm_seen[s as usize] {
+                        return Err(format!("NM slot {s} doubly mapped"));
+                    }
+                    nm_seen[s as usize] = true;
+                    if self.inverted[s as usize] != b as u64 {
+                        return Err(format!("inverted[{s}] != {b}"));
+                    }
+                }
+                BlockLoc::Fm(s) => {
+                    if fm_seen[s as usize] {
+                        return Err(format!("FM slot {s} doubly mapped"));
+                    }
+                    fm_seen[s as usize] = true;
+                }
+            }
+        }
+        if !nm_seen.iter().all(|&s| s) {
+            return Err("an NM slot holds no block".into());
+        }
+        if !fm_seen.iter().all(|&s| s) {
+            return Err("an FM slot holds no block".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn remap() -> (FlatRemap, DramSystem) {
+        (
+            FlatRemap::new(2048, 8, 64, 4096),
+            DramSystem::paper_default(),
+        )
+    }
+
+    #[test]
+    fn identity_boot_state() {
+        let (r, _) = remap();
+        assert_eq!(r.peek(0), BlockLoc::Nm(0));
+        assert_eq!(r.peek(8), BlockLoc::Fm(0));
+        assert_eq!(r.flat_capacity_bytes(), (8 + 64) * 2048);
+        r.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn swap_exchanges_homes() {
+        let (mut r, mut dram) = remap();
+        r.swap_into_nm(10, 3, 0, Cycle::ZERO, &mut dram);
+        assert_eq!(r.peek(10), BlockLoc::Nm(3));
+        assert_eq!(r.peek(3), BlockLoc::Fm(2)); // block 3 went to FM slot of block 10
+        assert_eq!(r.block_at(3), 10);
+        assert_eq!(r.swaps, 1);
+        r.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn swap_charges_both_directions() {
+        let (mut r, mut dram) = remap();
+        r.swap_into_nm(10, 0, 0, Cycle::ZERO, &mut dram);
+        let nm = dram.device(MemSide::Nm).stats().bytes(TrafficClass::Migration);
+        let fm = dram.device(MemSide::Fm).stats().bytes(TrafficClass::Migration);
+        assert_eq!(nm, 2 * 2048, "block written into NM and victim read out");
+        assert_eq!(fm, 2 * 2048, "block read from FM and victim written back");
+    }
+
+    #[test]
+    fn skip_lines_reduce_inbound_traffic() {
+        let (mut r, mut dram) = remap();
+        // Skip 16 of the 32 inbound lines.
+        r.swap_into_nm(10, 0, 0x0000_FFFF, Cycle::ZERO, &mut dram);
+        let fm_reads = dram.device(MemSide::Fm).stats().reads;
+        assert_eq!(fm_reads, 16, "only unskipped lines read from FM");
+    }
+
+    #[test]
+    fn locate_uses_remap_cache() {
+        let (mut r, mut dram) = remap();
+        let (loc1, t1) = r.locate(5, Cycle::ZERO, &mut dram);
+        assert_eq!(loc1, BlockLoc::Nm(5));
+        assert_eq!(r.table_reads, 1, "cold lookup reads the in-NM table");
+        let (_, t2) = r.locate(5, Cycle::ZERO, &mut dram);
+        assert_eq!(r.table_reads, 1, "second lookup hits the remap cache");
+        assert!(t2 - Cycle::ZERO < t1 - Cycle::ZERO);
+    }
+
+    #[test]
+    fn device_addresses_scale_by_block() {
+        let (r, _) = remap();
+        assert_eq!(r.device_addr(BlockLoc::Nm(2), 100), (MemSide::Nm, 2 * 2048 + 100));
+        assert_eq!(r.device_addr(BlockLoc::Fm(3), 0), (MemSide::Fm, 3 * 2048));
+    }
+
+    #[test]
+    fn many_swaps_keep_bijection() {
+        let (mut r, mut dram) = remap();
+        let mut rng = sim_types::rng::SplitMix64::new(5);
+        for _ in 0..200 {
+            // Pick any FM-resident block and any NM slot.
+            let block = loop {
+                let b = rng.gen_range(72);
+                if !r.peek(b).is_nm() {
+                    break b;
+                }
+            };
+            let slot = rng.gen_range(8);
+            r.swap_into_nm(block, slot, 0, Cycle::ZERO, &mut dram);
+        }
+        r.check_invariants().unwrap();
+        assert_eq!(r.swaps, 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "NM-resident")]
+    fn swapping_nm_block_panics() {
+        let (mut r, mut dram) = remap();
+        r.swap_into_nm(0, 0, 0, Cycle::ZERO, &mut dram);
+    }
+}

@@ -1,0 +1,167 @@
+//! The Majority Element Algorithm counters used by MemPod.
+//!
+//! MemPod (HPCA'17) identifies hot 2 KB blocks per interval with the
+//! streaming Majority Element Algorithm of Karp, Shenker & Papadimitriou
+//! (TODS 2003): `k` counters track candidate elements; an untracked element
+//! takes a free counter, and when none is free every counter is decremented
+//! (counters reaching zero free their slot). Elements still tracked at the
+//! end of an interval are the migration candidates.
+
+/// A bank of MEA counters over `u64` keys (block indices).
+#[derive(Clone, Debug)]
+pub struct MeaCounters {
+    entries: Vec<(u64, u32)>,
+    capacity: usize,
+}
+
+impl MeaCounters {
+    /// Creates a bank of `capacity` counters (MemPod's best: 64).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MEA needs at least one counter");
+        MeaCounters {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Feeds one occurrence of `key`.
+    pub fn observe(&mut self, key: u64) {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.0 == key) {
+            e.1 += 1;
+            return;
+        }
+        if self.entries.len() < self.capacity {
+            self.entries.push((key, 1));
+            return;
+        }
+        // Decrement-all step; zeroed counters free their slots.
+        for e in &mut self.entries {
+            e.1 -= 1;
+        }
+        self.entries.retain(|e| e.1 > 0);
+        // Karp's algorithm drops the new element in this case too.
+    }
+
+    /// The tracked candidates, hottest first.
+    pub fn candidates(&self) -> Vec<(u64, u32)> {
+        let mut v = self.entries.clone();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Clears all counters (interval boundary).
+    pub fn reset(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Number of tracked candidates.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no candidate is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_up_to_capacity() {
+        let mut m = MeaCounters::new(2);
+        m.observe(1);
+        m.observe(2);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn majority_element_survives() {
+        // Stream: a appears 60%, noise 40% across many keys. MEA guarantees
+        // any element with frequency > 1/(k+1) survives.
+        let mut m = MeaCounters::new(4);
+        for i in 0..1000u64 {
+            m.observe(if i % 5 < 3 { 42 } else { 100 + i });
+        }
+        let c = m.candidates();
+        assert_eq!(c.first().map(|e| e.0), Some(42));
+    }
+
+    #[test]
+    fn decrement_all_frees_slots() {
+        let mut m = MeaCounters::new(2);
+        m.observe(1); // (1,1)
+        m.observe(2); // (2,1)
+        m.observe(3); // decrement-all -> both drop to 0 and vanish; 3 not added
+        assert!(m.is_empty());
+        m.observe(4);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn counts_accumulate_for_tracked_keys() {
+        let mut m = MeaCounters::new(2);
+        for _ in 0..5 {
+            m.observe(7);
+        }
+        assert_eq!(m.candidates(), vec![(7, 5)]);
+    }
+
+    #[test]
+    fn candidates_sorted_hottest_first_stable_by_key() {
+        let mut m = MeaCounters::new(4);
+        m.observe(3);
+        m.observe(1);
+        m.observe(1);
+        m.observe(2);
+        m.observe(2);
+        let c = m.candidates();
+        assert_eq!(c[0].1, 2);
+        assert_eq!(c[2], (3, 1));
+        // Equal counts tie-break by key for determinism.
+        assert!(c[0].0 < c[1].0);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut m = MeaCounters::new(2);
+        m.observe(1);
+        m.reset();
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn brute_force_agreement_on_heavy_hitters() {
+        // Any key with frequency > n/(k+1) must be tracked at stream end.
+        use sim_types::rng::SplitMix64;
+        let mut rng = SplitMix64::new(9);
+        let k = 8;
+        let n = 2000u64;
+        let mut m = MeaCounters::new(k);
+        let mut truth = std::collections::HashMap::new();
+        for _ in 0..n {
+            // Key 5 gets ~30% of the stream; the rest spread over 1000 keys.
+            let key = if rng.chance(3, 10) { 5 } else { 10 + rng.gen_range(1000) };
+            m.observe(key);
+            *truth.entry(key).or_insert(0u64) += 1;
+        }
+        let tracked: Vec<u64> = m.candidates().iter().map(|e| e.0).collect();
+        for (key, count) in truth {
+            if count > n / (k as u64 + 1) {
+                assert!(tracked.contains(&key), "heavy hitter {key} lost");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_capacity_panics() {
+        let _ = MeaCounters::new(0);
+    }
+}

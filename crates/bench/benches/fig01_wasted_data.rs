@@ -1,0 +1,24 @@
+//! Regenerates Figure 1 (fetched-but-unused data vs cache line size) and
+//! times the ideal-cache sweep kernel.
+
+use bench::{bench_cfg, kernel_cfg, print_reports};
+use criterion::{criterion_group, criterion_main, Criterion};
+use sim::experiments::fig01_wasted_data;
+use sim::{run_one, NmRatio, SchemeKind};
+use workloads::catalog;
+
+fn bench(c: &mut Criterion) {
+    print_reports(&fig01_wasted_data(&bench_cfg(), true));
+    let cfg = kernel_cfg();
+    let spec = catalog::by_name("omnetpp").unwrap();
+    c.bench_function("fig01/ideal_cache_4k_lines", |b| {
+        b.iter(|| run_one(SchemeKind::IdealLine(4096), spec, NmRatio::OneGb, &cfg))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

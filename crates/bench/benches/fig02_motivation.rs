@@ -1,0 +1,24 @@
+//! Regenerates Figure 2 (motivation: min/max/geomean of migration vs cache
+//! designs) and times one mid-sweep cache point.
+
+use bench::{bench_cfg, kernel_cfg, print_reports};
+use criterion::{criterion_group, criterion_main, Criterion};
+use sim::experiments::fig02_motivation;
+use sim::{run_one, NmRatio, SchemeKind};
+use workloads::catalog;
+
+fn bench(c: &mut Criterion) {
+    print_reports(&fig02_motivation(&bench_cfg(), true));
+    let cfg = kernel_cfg();
+    let spec = catalog::by_name("lbm").unwrap();
+    c.bench_function("fig02/dfc_1k_run", |b| {
+        b.iter(|| run_one(SchemeKind::DfcLine(1024), spec, NmRatio::OneGb, &cfg))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

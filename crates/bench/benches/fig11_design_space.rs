@@ -1,0 +1,35 @@
+//! Regenerates Figure 11 (Hybrid2 design-space exploration) and times the
+//! paper-best configuration.
+
+use bench::{bench_cfg, kernel_cfg, print_reports};
+use criterion::{criterion_group, criterion_main, Criterion};
+use sim::experiments::fig11_design_space;
+use sim::{run_one, NmRatio, SchemeKind};
+use workloads::catalog;
+
+fn bench(c: &mut Criterion) {
+    print_reports(&fig11_design_space(&bench_cfg(), true));
+    let cfg = kernel_cfg();
+    let spec = catalog::by_name("lbm").unwrap();
+    c.bench_function("fig11/hybrid2_64mb_2k_256", |b| {
+        b.iter(|| {
+            run_one(
+                SchemeKind::Hybrid2Config {
+                    cache_bytes_paper: 64 << 20,
+                    sector: 2048,
+                    line: 256,
+                },
+                spec,
+                NmRatio::OneGb,
+                &cfg,
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

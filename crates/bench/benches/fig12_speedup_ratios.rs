@@ -1,0 +1,28 @@
+//! Regenerates Figure 12 (geomean speedup by MPKI class at the three NM:FM
+//! ratios) and times a Hybrid2 run at each ratio.
+
+use bench::{bench_cfg, kernel_cfg, print_reports};
+use criterion::{criterion_group, criterion_main, Criterion};
+use sim::experiments::fig12_speedup_by_ratio;
+use sim::{run_one, NmRatio, SchemeKind};
+use workloads::catalog;
+
+fn bench(c: &mut Criterion) {
+    print_reports(&fig12_speedup_by_ratio(&bench_cfg(), true));
+    let cfg = kernel_cfg();
+    let spec = catalog::by_name("lbm").unwrap();
+    let mut group = c.benchmark_group("fig12");
+    for ratio in NmRatio::ALL {
+        group.bench_function(format!("hybrid2_{}", ratio.label()), |b| {
+            b.iter(|| run_one(SchemeKind::Hybrid2, spec, ratio, &cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

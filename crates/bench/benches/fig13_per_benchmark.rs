@@ -1,0 +1,32 @@
+//! Regenerates Figure 13 (per-benchmark speedups at 1:16) and times the
+//! six-scheme smoke matrix.
+
+use bench::{bench_cfg, kernel_cfg, print_reports};
+use criterion::{criterion_group, criterion_main, Criterion};
+use sim::experiments::{fig13_per_benchmark, main_matrix};
+use sim::{Matrix, NmRatio, SchemeKind};
+use workloads::catalog;
+
+fn bench(c: &mut Criterion) {
+    let m = main_matrix(NmRatio::OneGb, &bench_cfg(), true);
+    print_reports(&[fig13_per_benchmark(&m)]);
+    let cfg = kernel_cfg();
+    let specs = [catalog::by_name("xalanc").unwrap()];
+    c.bench_function("fig13/two_scheme_matrix", |b| {
+        b.iter(|| {
+            Matrix::run(
+                &[SchemeKind::Hybrid2, SchemeKind::Lgm],
+                &specs,
+                NmRatio::OneGb,
+                &cfg,
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Regenerates Figure 14 (Hybrid2 performance-factor breakdown) and times
+//! the Cache-Only and Full variants.
+
+use bench::{bench_cfg, kernel_cfg, print_reports};
+use criterion::{criterion_group, criterion_main, Criterion};
+use hybrid2_core::Variant;
+use sim::experiments::fig14_breakdown;
+use sim::{run_one, NmRatio, SchemeKind};
+use workloads::catalog;
+
+fn bench(c: &mut Criterion) {
+    print_reports(&fig14_breakdown(&bench_cfg(), true));
+    let cfg = kernel_cfg();
+    let spec = catalog::by_name("lbm").unwrap();
+    let mut group = c.benchmark_group("fig14");
+    for variant in [Variant::CacheOnly, Variant::Full] {
+        group.bench_function(variant.label(), |b| {
+            b.iter(|| run_one(SchemeKind::Hybrid2Variant(variant), spec, NmRatio::OneGb, &cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

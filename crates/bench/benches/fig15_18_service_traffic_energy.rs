@@ -1,0 +1,40 @@
+//! Regenerates Figures 15–18 (NM service rate, FM traffic, NM traffic and
+//! dynamic energy by MPKI class) from one shared matrix and times the
+//! matrix construction.
+
+use bench::{bench_cfg, kernel_cfg, print_reports};
+use criterion::{criterion_group, criterion_main, Criterion};
+use sim::experiments::{
+    fig15_nm_served, fig16_fm_traffic, fig17_nm_traffic, fig18_energy, main_matrix,
+};
+use sim::{Matrix, NmRatio, SchemeKind};
+use workloads::catalog;
+
+fn bench(c: &mut Criterion) {
+    let m = main_matrix(NmRatio::OneGb, &bench_cfg(), true);
+    print_reports(&[
+        fig15_nm_served(&m),
+        fig16_fm_traffic(&m),
+        fig17_nm_traffic(&m),
+        fig18_energy(&m),
+    ]);
+    let cfg = kernel_cfg();
+    let specs = [catalog::by_name("lbm").unwrap()];
+    c.bench_function("fig15_18/tagless_vs_hybrid2", |b| {
+        b.iter(|| {
+            Matrix::run(
+                &[SchemeKind::Tagless, SchemeKind::Hybrid2],
+                &specs,
+                NmRatio::OneGb,
+                &cfg,
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

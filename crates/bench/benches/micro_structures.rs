@@ -1,0 +1,99 @@
+//! Microbenchmarks of the hot structures on the simulated critical path:
+//! XTA lookups, DRAM device accesses, MEA updates, SRAM cache filtering and
+//! remap-table lookups. These track the simulator's own performance and
+//! give a feel for the relative cost of each mechanism.
+
+use baselines::{flat::FlatRemap, MeaCounters};
+use criterion::{criterion_group, criterion_main, Criterion};
+use dram::{DeviceConfig, DramAccess, DramDevice, DramSystem};
+use hybrid2_core::xta::Xta;
+use mem_cache::{CacheConfig, SetAssocCache};
+use sim_types::rng::SplitMix64;
+use sim_types::{AccessKind, Cycle, SectorId, TrafficClass};
+
+fn xta_lookup(c: &mut Criterion) {
+    let mut xta = Xta::new(1024, 16, 8, 9);
+    // 64 sets x 16 ways: sector id i maps to set i % 64, filling evenly.
+    for i in 0..1024u64 {
+        xta.insert(Xta::entry_for_fm_fetch(
+            SectorId::new(i),
+            sim_types::NmLoc::new(i),
+            sim_types::FmLoc::new(i),
+            0,
+            false,
+        ));
+    }
+    let mut rng = SplitMix64::new(1);
+    c.bench_function("micro/xta_lookup_hit", |b| {
+        b.iter(|| {
+            let s = SectorId::new(rng.gen_range(1024));
+            xta.lookup_mut(s).map(|e| e.counter)
+        })
+    });
+}
+
+fn dram_access(c: &mut Criterion) {
+    let mut dev = DramDevice::new(DeviceConfig::hbm2_near_memory());
+    let mut rng = SplitMix64::new(2);
+    let mut t = Cycle::ZERO;
+    c.bench_function("micro/dram_device_access", |b| {
+        b.iter(|| {
+            let done = dev.access(DramAccess {
+                addr: rng.gen_range(1 << 26),
+                bytes: 64,
+                kind: AccessKind::Read,
+                class: TrafficClass::Demand,
+                at: t,
+            });
+            t = done;
+            done
+        })
+    });
+}
+
+fn mea_update(c: &mut Criterion) {
+    let mut mea = MeaCounters::new(64);
+    let mut rng = SplitMix64::new(3);
+    c.bench_function("micro/mea_observe", |b| {
+        b.iter(|| {
+            // 70% hot keys, 30% noise: the MemPod steady state.
+            let key = if rng.chance(7, 10) {
+                rng.gen_range(32)
+            } else {
+                1000 + rng.gen_range(100_000)
+            };
+            mea.observe(key);
+        })
+    });
+}
+
+fn sram_cache_filter(c: &mut Criterion) {
+    let mut l1 = SetAssocCache::new(CacheConfig::l1());
+    let mut rng = SplitMix64::new(4);
+    c.bench_function("micro/sram_cache_access", |b| {
+        b.iter(|| {
+            let hot = rng.chance(9, 10);
+            let span: u64 = if hot { 32 * 1024 } else { 1 << 24 };
+            l1.access(rng.gen_range(span / 64) * 64, false).hit
+        })
+    });
+}
+
+fn remap_locate(c: &mut Criterion) {
+    let mut flat = FlatRemap::new(2048, 512, 8192, 64 * 1024);
+    let mut dram = DramSystem::paper_default();
+    let mut rng = SplitMix64::new(5);
+    c.bench_function("micro/flat_remap_locate", |b| {
+        b.iter(|| {
+            let block = rng.gen_range(512 + 8192);
+            flat.locate(block, Cycle::ZERO, &mut dram)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = xta_lookup, dram_access, mea_update, sram_cache_filter, remap_locate
+}
+criterion_main!(benches);

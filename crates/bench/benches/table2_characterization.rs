@@ -1,0 +1,24 @@
+//! Regenerates Table 2 (benchmark characterization) and times one
+//! baseline characterization run.
+
+use bench::{bench_cfg, kernel_cfg, print_reports};
+use criterion::{criterion_group, criterion_main, Criterion};
+use sim::experiments::table2_characterization;
+use sim::{run_one, NmRatio, SchemeKind};
+use workloads::catalog;
+
+fn bench(c: &mut Criterion) {
+    print_reports(&table2_characterization(&bench_cfg(), true));
+    let cfg = kernel_cfg();
+    let spec = catalog::by_name("lbm").unwrap();
+    c.bench_function("table2/baseline_run_lbm", |b| {
+        b.iter(|| run_one(SchemeKind::Baseline, spec, NmRatio::OneGb, &cfg))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Shared plumbing for the criterion benchmark harness.
+//!
+//! Every bench target in `benches/` regenerates one table or figure of the
+//! paper at a reduced scale — it *prints* the paper-style series once, then
+//! times a representative kernel so `cargo bench` also tracks simulator
+//! performance regressions. `EXPERIMENTS.md` records the paper-vs-measured
+//! comparison produced at the default evaluation scale.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use sim::report::Report;
+use sim::EvalConfig;
+
+/// The benchmark-scale evaluation configuration: 1/1024 capacities with a
+/// proportional ~1 M-instruction window, small enough that every figure
+/// regenerates in seconds.
+pub fn bench_cfg() -> EvalConfig {
+    EvalConfig {
+        scale_den: 1024,
+        instrs_per_core: 150_000,
+        seed: 2020,
+        threads: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
+    }
+}
+
+/// A minimal configuration for the timed kernel inside each bench.
+pub fn kernel_cfg() -> EvalConfig {
+    EvalConfig {
+        scale_den: 1024,
+        instrs_per_core: 30_000,
+        seed: 9,
+        threads: 1,
+    }
+}
+
+/// Prints the regenerated series for the humans reading the bench log.
+pub fn print_reports(reports: &[Report]) {
+    for r in reports {
+        println!("{}", r.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configs_are_sane() {
+        assert!(bench_cfg().scale_den >= 256);
+        assert!(kernel_cfg().instrs_per_core <= bench_cfg().instrs_per_core);
+    }
+}

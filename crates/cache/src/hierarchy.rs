@@ -1,0 +1,438 @@
+//! The three-level on-chip cache hierarchy of Table 1.
+//!
+//! Private L1 (64 KB, 4-way, 1 cycle) and L2 (256 KB, 8-way, 9 cycles) per
+//! core plus one shared, non-inclusive 8 MB 16-way LLC (14 cycles). The
+//! hierarchy filters the raw trace into the LLC-miss/writeback stream that
+//! the memory schemes see, and reports the events LGM and DFC observe.
+
+use sim_types::{AccessKind, PAddr};
+
+use crate::set_assoc::{CacheConfig, CacheStats, SetAssocCache};
+
+/// Latency and shape configuration for the hierarchy.
+#[derive(Clone, Debug)]
+pub struct HierarchyConfig {
+    /// Number of cores (private L1/L2 instances).
+    pub cores: usize,
+    /// Per-core L1 configuration.
+    pub l1: CacheConfig,
+    /// Per-core L2 configuration.
+    pub l2: CacheConfig,
+    /// Shared LLC configuration.
+    pub llc: CacheConfig,
+    /// L1 hit latency in cycles (Table 1: 1).
+    pub l1_latency: u64,
+    /// L2 hit latency in cycles (Table 1: 9).
+    pub l2_latency: u64,
+    /// LLC hit latency in cycles (Table 1: 14).
+    pub llc_latency: u64,
+}
+
+impl HierarchyConfig {
+    /// The paper's Table 1 hierarchy for `cores` cores.
+    pub fn paper_default(cores: usize) -> Self {
+        HierarchyConfig {
+            cores,
+            l1: CacheConfig::l1(),
+            l2: CacheConfig::l2(),
+            llc: CacheConfig::llc(),
+            l1_latency: 1,
+            l2_latency: 9,
+            llc_latency: 14,
+        }
+    }
+
+    /// A proportionally scaled hierarchy for reduced-scale experiments:
+    /// capacities multiplied by `num/den` (minimum one set per cache).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scaled configuration is structurally invalid (cannot
+    /// happen for power-of-two `den` up to 1024).
+    pub fn scaled(cores: usize, num: u64, den: u64) -> Self {
+        let scale = |cap: u64, assoc: u32, line: u64| {
+            let scaled = (cap * num / den).max(u64::from(assoc) * line);
+            // Round down to the nearest valid power-of-two set count.
+            let set_bytes = u64::from(assoc) * line;
+            let sets = (scaled / set_bytes).max(1);
+            let sets = if sets.is_power_of_two() {
+                sets
+            } else {
+                sets.next_power_of_two() / 2
+            };
+            CacheConfig::new(sets * set_bytes, assoc, line).expect("scaled cache config")
+        };
+        HierarchyConfig {
+            cores,
+            l1: scale(64 * 1024, 4, 64),
+            l2: scale(256 * 1024, 8, 64),
+            llc: scale(8 * 1024 * 1024, 16, 64),
+            l1_latency: 1,
+            l2_latency: 9,
+            llc_latency: 14,
+        }
+    }
+}
+
+/// What happened below the core for one access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Outcome {
+    /// On-chip latency component in cycles (hit level latency; for LLC
+    /// misses this is the LLC lookup latency — memory latency is added by
+    /// the memory scheme).
+    pub latency: u64,
+    /// `Some(line address)` if the access missed the LLC and must go to
+    /// memory.
+    pub llc_miss: Option<PAddr>,
+    /// A dirty LLC victim that must be written back to memory.
+    pub writeback: Option<PAddr>,
+    /// LLC events observed for this access (used by LGM/DFC).
+    pub llc_fill: Option<PAddr>,
+    /// Clean or dirty line evicted from the LLC (dirty ones also appear in
+    /// `writeback`).
+    pub llc_evict: Option<PAddr>,
+}
+
+/// Per-level aggregate statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LevelStats {
+    /// Lookups at this level.
+    pub accesses: u64,
+    /// Hits at this level.
+    pub hits: u64,
+}
+
+/// Aggregate hierarchy statistics.
+#[derive(Clone, Debug, Default)]
+pub struct HierarchyStats {
+    /// L1 totals across cores.
+    pub l1: LevelStats,
+    /// L2 totals across cores.
+    pub l2: LevelStats,
+    /// Shared LLC totals.
+    pub llc: LevelStats,
+    /// Dirty LLC evictions sent to memory.
+    pub writebacks: u64,
+}
+
+impl HierarchyStats {
+    /// LLC misses (demand stream to memory).
+    pub fn llc_misses(&self) -> u64 {
+        self.llc.accesses - self.llc.hits
+    }
+
+    /// Misses per kilo-instruction given a retired-instruction count.
+    pub fn mpki(&self, instructions: u64) -> f64 {
+        if instructions == 0 {
+            0.0
+        } else {
+            self.llc_misses() as f64 * 1000.0 / instructions as f64
+        }
+    }
+}
+
+/// The private-L1/L2 + shared-LLC filter.
+#[derive(Clone, Debug)]
+pub struct Hierarchy {
+    cfg: HierarchyConfig,
+    l1: Vec<SetAssocCache>,
+    l2: Vec<SetAssocCache>,
+    llc: SetAssocCache,
+    stats: HierarchyStats,
+}
+
+/// An LLC-level event fed to observers such as LGM.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MemLevelEvent {
+    /// A line was filled into the LLC.
+    Fill(PAddr),
+    /// A line left the LLC (`dirty` = needs memory writeback).
+    Evict {
+        /// Address of the evicted line.
+        addr: PAddr,
+        /// Whether it was dirty.
+        dirty: bool,
+    },
+}
+
+impl Hierarchy {
+    /// Builds the hierarchy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.cores` is zero.
+    pub fn new(cfg: HierarchyConfig) -> Self {
+        assert!(cfg.cores > 0, "hierarchy needs at least one core");
+        Hierarchy {
+            l1: (0..cfg.cores).map(|_| SetAssocCache::new(cfg.l1)).collect(),
+            l2: (0..cfg.cores).map(|_| SetAssocCache::new(cfg.l2)).collect(),
+            llc: SetAssocCache::new(cfg.llc),
+            stats: HierarchyStats::default(),
+            cfg,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.cfg
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> &HierarchyStats {
+        &self.stats
+    }
+
+    /// LLC line size in bytes.
+    pub fn line_size(&self) -> u64 {
+        self.cfg.llc.line_size()
+    }
+
+    /// True if `addr`'s line is resident in the shared LLC (LGM's probe).
+    pub fn llc_contains(&self, addr: PAddr) -> bool {
+        self.llc.probe(addr.raw())
+    }
+
+    /// Marks `addr`'s LLC line dirty if resident (LGM's "mark instead of
+    /// migrate" optimization); returns whether it was resident.
+    pub fn llc_mark_dirty(&mut self, addr: PAddr) -> bool {
+        self.llc.mark_dirty(addr.raw())
+    }
+
+    /// Runs one access from `core` through the hierarchy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn access(&mut self, core: usize, addr: PAddr, kind: AccessKind) -> Outcome {
+        assert!(core < self.cfg.cores, "core {core} out of range");
+        let a = addr.raw();
+        let write = kind.is_write();
+
+        // L1.
+        self.stats.l1.accesses += 1;
+        let l1 = &mut self.l1[core];
+        let l1_out = l1.access(a, write);
+        if l1_out.hit {
+            self.stats.l1.hits += 1;
+            return Outcome {
+                latency: self.cfg.l1_latency,
+                llc_miss: None,
+                writeback: None,
+                llc_fill: None,
+                llc_evict: None,
+            };
+        }
+        // L1 victim writebacks are absorbed by L2 (allocate-on-write below).
+        let l1_victim = l1_out.evicted;
+
+        // L2. Inserting a dirty L1 victim may itself displace a dirty L2
+        // line, which must continue down to the LLC.
+        self.stats.l2.accesses += 1;
+        let l2 = &mut self.l2[core];
+        let mut spilled_by_l1_victim = None;
+        if let Some(v) = l1_victim {
+            if v.dirty {
+                spilled_by_l1_victim = l2.access(v.line_addr, true).evicted;
+            }
+        }
+        let l2_out = l2.access(a, false);
+        let l2_victim = l2_out.evicted;
+        if l2_out.hit {
+            self.stats.l2.hits += 1;
+            // Even on an L2 hit, displaced L2 victims may spill to the LLC.
+            let wb = self
+                .spill_to_llc(spilled_by_l1_victim)
+                .or_else(|| self.spill_to_llc(l2_victim));
+            return Outcome {
+                latency: self.cfg.l2_latency,
+                llc_miss: None,
+                writeback: wb,
+                llc_fill: None,
+                llc_evict: None,
+            };
+        }
+
+        // LLC (shared).
+        self.stats.llc.accesses += 1;
+        let spill = self
+            .spill_to_llc(spilled_by_l1_victim)
+            .or_else(|| self.spill_to_llc(l2_victim));
+        let llc_out = self.llc.access(a, false);
+        let mut writeback = spill;
+        let mut llc_evict = None;
+        if let Some(v) = llc_out.evicted {
+            llc_evict = Some(PAddr::new(v.line_addr));
+            if v.dirty {
+                self.stats.writebacks += 1;
+                // At most one dirty writeback per access reaches memory in
+                // this model; prefer the demand-path victim.
+                writeback = Some(PAddr::new(v.line_addr));
+            }
+        }
+        if llc_out.hit {
+            self.stats.llc.hits += 1;
+            return Outcome {
+                latency: self.cfg.llc_latency,
+                llc_miss: None,
+                writeback,
+                llc_fill: None,
+                llc_evict: None,
+            };
+        }
+
+        Outcome {
+            latency: self.cfg.llc_latency,
+            llc_miss: Some(PAddr::new(self.llc.line_base(a))),
+            writeback,
+            llc_fill: Some(PAddr::new(self.llc.line_base(a))),
+            llc_evict,
+        }
+    }
+
+    /// Writes a dirty L2 victim into the LLC; returns a dirty LLC victim
+    /// displaced by the spill, if any.
+    fn spill_to_llc(&mut self, victim: Option<crate::set_assoc::Evicted>) -> Option<PAddr> {
+        let v = victim?;
+        if !v.dirty {
+            return None;
+        }
+        let out = self.llc.access(v.line_addr, true);
+        let ev = out.evicted?;
+        if ev.dirty {
+            self.stats.writebacks += 1;
+            Some(PAddr::new(ev.line_addr))
+        } else {
+            None
+        }
+    }
+
+    /// Per-level raw cache statistics (L1s, L2s, LLC) for diagnostics.
+    pub fn level_stats(&self) -> (Vec<CacheStats>, Vec<CacheStats>, CacheStats) {
+        (
+            self.l1.iter().map(|c| *c.stats()).collect(),
+            self.l2.iter().map(|c| *c.stats()).collect(),
+            *self.llc.stats(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Hierarchy {
+        // Small hierarchy: L1 256 B/2-way, L2 512 B/2-way, LLC 2 KB/4-way.
+        Hierarchy::new(HierarchyConfig {
+            cores: 2,
+            l1: CacheConfig::new(256, 2, 64).unwrap(),
+            l2: CacheConfig::new(512, 2, 64).unwrap(),
+            llc: CacheConfig::new(2048, 4, 64).unwrap(),
+            l1_latency: 1,
+            l2_latency: 9,
+            llc_latency: 14,
+        })
+    }
+
+    #[test]
+    fn repeat_access_hits_l1() {
+        let mut h = tiny();
+        let a = PAddr::new(0x1000);
+        let first = h.access(0, a, AccessKind::Read);
+        assert!(first.llc_miss.is_some());
+        let second = h.access(0, a, AccessKind::Read);
+        assert!(second.llc_miss.is_none());
+        assert_eq!(second.latency, 1);
+        assert_eq!(h.stats().l1.hits, 1);
+    }
+
+    #[test]
+    fn private_l1s_do_not_share() {
+        let mut h = tiny();
+        let a = PAddr::new(0x1000);
+        h.access(0, a, AccessKind::Read);
+        // Core 1 misses its own L1/L2 but hits the shared LLC.
+        let out = h.access(1, a, AccessKind::Read);
+        assert!(out.llc_miss.is_none());
+        assert_eq!(out.latency, 14);
+        assert_eq!(h.stats().llc.hits, 1);
+    }
+
+    #[test]
+    fn paper_default_shapes() {
+        let h = Hierarchy::new(HierarchyConfig::paper_default(8));
+        assert_eq!(h.line_size(), 64);
+        assert_eq!(h.config().llc.capacity(), 8 * 1024 * 1024);
+    }
+
+    #[test]
+    fn llc_miss_reports_line_address() {
+        let mut h = tiny();
+        let out = h.access(0, PAddr::new(0x1234), AccessKind::Read);
+        assert_eq!(out.llc_miss, Some(PAddr::new(0x1200)));
+        assert_eq!(out.llc_fill, Some(PAddr::new(0x1200)));
+    }
+
+    #[test]
+    fn mpki_accounting() {
+        let mut h = tiny();
+        for i in 0..10u64 {
+            h.access(0, PAddr::new(i * 0x10000), AccessKind::Read);
+        }
+        assert_eq!(h.stats().llc_misses(), 10);
+        assert!((h.stats().mpki(1000) - 10.0).abs() < 1e-12);
+        assert_eq!(h.stats().mpki(0), 0.0);
+    }
+
+    #[test]
+    fn dirty_data_eventually_writes_back() {
+        let mut h = tiny();
+        // Write lines mapping to the same LLC set until a dirty victim
+        // reaches memory. LLC: 2048/4-way/64B -> 8 sets; stride 8*64=512.
+        let mut saw_writeback = false;
+        for i in 0..64u64 {
+            let out = h.access(0, PAddr::new(i * 512), AccessKind::Write);
+            saw_writeback |= out.writeback.is_some();
+        }
+        assert!(saw_writeback, "dirty lines must eventually write back");
+        assert!(h.stats().writebacks > 0);
+    }
+
+    #[test]
+    fn llc_probe_and_mark_dirty() {
+        let mut h = tiny();
+        let a = PAddr::new(0x4000);
+        h.access(0, a, AccessKind::Read);
+        assert!(h.llc_contains(a));
+        assert!(h.llc_mark_dirty(a));
+        assert!(!h.llc_contains(PAddr::new(0x8000)));
+        assert!(!h.llc_mark_dirty(PAddr::new(0x8000)));
+    }
+
+    #[test]
+    fn scaled_config_preserves_shape() {
+        let c = HierarchyConfig::scaled(4, 1, 64);
+        assert_eq!(c.l1.line_size(), 64);
+        assert!(c.llc.capacity() >= c.l2.capacity());
+        assert!(c.llc.capacity() <= 8 * 1024 * 1024);
+        let _ = Hierarchy::new(c);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_core_panics() {
+        let mut h = tiny();
+        h.access(7, PAddr::new(0), AccessKind::Read);
+    }
+
+    #[test]
+    fn streaming_misses_every_line() {
+        let mut h = tiny();
+        let mut misses = 0;
+        for i in 0..100u64 {
+            if h.access(0, PAddr::new(i * 64), AccessKind::Read).llc_miss.is_some() {
+                misses += 1;
+            }
+        }
+        assert_eq!(misses, 100, "cold streaming never hits");
+    }
+}

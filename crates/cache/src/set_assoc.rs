@@ -1,0 +1,552 @@
+//! A generic set-associative, write-back, LRU cache.
+
+use core::fmt;
+
+/// Errors returned when constructing an invalid [`CacheConfig`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheConfigError {
+    /// Capacity must be non-zero and divisible into sets.
+    BadCapacity {
+        /// Offending capacity in bytes.
+        capacity: u64,
+        /// Bytes per set (`assoc * line`).
+        set_bytes: u64,
+    },
+    /// Associativity must be non-zero.
+    ZeroAssociativity,
+    /// Line size must be a non-zero power of two.
+    BadLineSize(u64),
+    /// The derived set count must be a power of two (index bits).
+    SetsNotPowerOfTwo(u64),
+}
+
+impl fmt::Display for CacheConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            CacheConfigError::BadCapacity { capacity, set_bytes } => write!(
+                f,
+                "capacity {capacity} is not a non-zero multiple of the set size {set_bytes}"
+            ),
+            CacheConfigError::ZeroAssociativity => f.write_str("associativity must be non-zero"),
+            CacheConfigError::BadLineSize(l) => {
+                write!(f, "line size {l} is not a non-zero power of two")
+            }
+            CacheConfigError::SetsNotPowerOfTwo(s) => {
+                write!(f, "derived set count {s} is not a power of two")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CacheConfigError {}
+
+/// Size/shape of one cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    capacity: u64,
+    assoc: u32,
+    line: u64,
+    sets: u64,
+}
+
+impl CacheConfig {
+    /// Creates a configuration of `capacity` bytes, `assoc` ways and `line`
+    /// bytes per line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CacheConfigError`] unless capacity divides evenly into a
+    /// power-of-two number of sets.
+    pub fn new(capacity: u64, assoc: u32, line: u64) -> Result<Self, CacheConfigError> {
+        if assoc == 0 {
+            return Err(CacheConfigError::ZeroAssociativity);
+        }
+        if line == 0 || !line.is_power_of_two() {
+            return Err(CacheConfigError::BadLineSize(line));
+        }
+        let set_bytes = u64::from(assoc) * line;
+        if capacity == 0 || !capacity.is_multiple_of(set_bytes) {
+            return Err(CacheConfigError::BadCapacity { capacity, set_bytes });
+        }
+        let sets = capacity / set_bytes;
+        if !sets.is_power_of_two() {
+            return Err(CacheConfigError::SetsNotPowerOfTwo(sets));
+        }
+        Ok(CacheConfig {
+            capacity,
+            assoc,
+            line,
+            sets,
+        })
+    }
+
+    /// Table 1 L1: 64 KB, 4-way, 64 B lines.
+    pub fn l1() -> Self {
+        Self::new(64 * 1024, 4, 64).expect("L1 constants are valid")
+    }
+
+    /// Table 1 L2: 256 KB, 8-way, 64 B lines.
+    pub fn l2() -> Self {
+        Self::new(256 * 1024, 8, 64).expect("L2 constants are valid")
+    }
+
+    /// Table 1 shared LLC: 8 MB, 16-way, 64 B lines.
+    pub fn llc() -> Self {
+        Self::new(8 * 1024 * 1024, 16, 64).expect("LLC constants are valid")
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Ways per set.
+    pub fn associativity(&self) -> u32 {
+        self.assoc
+    }
+
+    /// Line size in bytes.
+    pub fn line_size(&self) -> u64 {
+        self.line
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.sets
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Way {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    stamp: u64,
+}
+
+/// A line evicted to make room for a fill.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Evicted {
+    /// First byte address of the evicted line.
+    pub line_addr: u64,
+    /// Whether the line was dirty (requires a writeback).
+    pub dirty: bool,
+}
+
+/// Result of one [`SetAssocCache::access`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Access {
+    /// Whether the line was already resident.
+    pub hit: bool,
+    /// A victim displaced by the allocation, if any.
+    pub evicted: Option<Evicted>,
+}
+
+/// Hit/miss counters for one cache instance.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total lookups.
+    pub accesses: u64,
+    /// Lookups that found the line resident.
+    pub hits: u64,
+    /// Dirty victims produced.
+    pub dirty_evictions: u64,
+}
+
+impl CacheStats {
+    /// Misses (`accesses - hits`).
+    pub fn misses(&self) -> u64 {
+        self.accesses - self.hits
+    }
+
+    /// Hit rate in [0, 1]; 0 when idle.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// A write-back, allocate-on-miss, true-LRU set-associative cache.
+///
+/// Addresses are byte addresses; the cache works at [`CacheConfig::line_size`]
+/// granularity. This structure is used for the L1/L2/LLC SRAM levels and for
+/// scheme metadata caches (where "addresses" are table-entry indices scaled
+/// by an entry size).
+#[derive(Clone, Debug)]
+pub struct SetAssocCache {
+    cfg: CacheConfig,
+    ways: Vec<Way>,
+    stats: CacheStats,
+    line_shift: u32,
+    set_mask: u64,
+    clock: u64,
+}
+
+impl SetAssocCache {
+    /// Builds a cache from a validated configuration.
+    pub fn new(cfg: CacheConfig) -> Self {
+        let ways = vec![Way::default(); (cfg.sets * u64::from(cfg.assoc)) as usize];
+        SetAssocCache {
+            line_shift: cfg.line.trailing_zeros(),
+            set_mask: cfg.sets - 1,
+            ways,
+            stats: CacheStats::default(),
+            clock: 0,
+            cfg,
+        }
+    }
+
+    /// The configuration this cache was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Hit/miss statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    #[inline]
+    fn set_of(&self, addr: u64) -> (u64, u64) {
+        let line = addr >> self.line_shift;
+        (line & self.set_mask, line >> self.set_mask.count_ones())
+    }
+
+    fn set_range(&self, set: u64) -> core::ops::Range<usize> {
+        let start = (set * u64::from(self.cfg.assoc)) as usize;
+        start..start + self.cfg.assoc as usize
+    }
+
+    /// Looks up `addr`, allocating it on miss (possibly evicting a victim).
+    /// `write` marks the line dirty.
+    pub fn access(&mut self, addr: u64, write: bool) -> Access {
+        self.clock += 1;
+        let clock = self.clock;
+        let (set, tag) = self.set_of(addr);
+        let range = self.set_range(set);
+        self.stats.accesses += 1;
+
+        // Hit path.
+        for w in &mut self.ways[range.clone()] {
+            if w.valid && w.tag == tag {
+                w.stamp = clock;
+                w.dirty |= write;
+                self.stats.hits += 1;
+                return Access {
+                    hit: true,
+                    evicted: None,
+                };
+            }
+        }
+
+        // Miss: find an invalid way or the LRU victim.
+        let mut victim_idx = range.start;
+        let mut victim_stamp = u64::MAX;
+        let mut found_invalid = false;
+        for (i, w) in self.ways[range.clone()].iter().enumerate() {
+            if !w.valid {
+                victim_idx = range.start + i;
+                found_invalid = true;
+                break;
+            }
+            if w.stamp < victim_stamp {
+                victim_stamp = w.stamp;
+                victim_idx = range.start + i;
+            }
+        }
+
+        let evicted = if found_invalid {
+            None
+        } else {
+            let w = self.ways[victim_idx];
+            if w.dirty {
+                self.stats.dirty_evictions += 1;
+            }
+            Some(Evicted {
+                line_addr: self.reconstruct(set, w.tag),
+                dirty: w.dirty,
+            })
+        };
+
+        self.ways[victim_idx] = Way {
+            tag,
+            valid: true,
+            dirty: write,
+            stamp: clock,
+        };
+        Access {
+            hit: false,
+            evicted,
+        }
+    }
+
+    /// Non-allocating residency probe.
+    pub fn probe(&self, addr: u64) -> bool {
+        let (set, tag) = self.set_of(addr);
+        self.ways[self.set_range(set)]
+            .iter()
+            .any(|w| w.valid && w.tag == tag)
+    }
+
+    /// Marks a resident line dirty without affecting LRU; returns whether the
+    /// line was resident. Used by LGM's "mark instead of migrate" policy.
+    pub fn mark_dirty(&mut self, addr: u64) -> bool {
+        let (set, tag) = self.set_of(addr);
+        let range = self.set_range(set);
+        for w in &mut self.ways[range] {
+            if w.valid && w.tag == tag {
+                w.dirty = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Removes a line; returns `Some(dirty)` if it was resident.
+    pub fn invalidate(&mut self, addr: u64) -> Option<bool> {
+        let (set, tag) = self.set_of(addr);
+        let range = self.set_range(set);
+        for w in &mut self.ways[range] {
+            if w.valid && w.tag == tag {
+                w.valid = false;
+                let dirty = w.dirty;
+                w.dirty = false;
+                return Some(dirty);
+            }
+        }
+        None
+    }
+
+    /// Number of currently valid lines.
+    pub fn occupancy(&self) -> u64 {
+        self.ways.iter().filter(|w| w.valid).count() as u64
+    }
+
+    /// Iterates over the addresses of all resident lines (diagnostics/tests).
+    pub fn resident_lines(&self) -> impl Iterator<Item = u64> + '_ {
+        let assoc = u64::from(self.cfg.assoc);
+        self.ways.iter().enumerate().filter_map(move |(i, w)| {
+            if w.valid {
+                Some(self.reconstruct(i as u64 / assoc, w.tag))
+            } else {
+                None
+            }
+        })
+    }
+
+    #[inline]
+    fn reconstruct(&self, set: u64, tag: u64) -> u64 {
+        ((tag << self.set_mask.count_ones()) | set) << self.line_shift
+    }
+
+    /// Aligns an arbitrary byte address down to its line base.
+    pub fn line_base(&self, addr: u64) -> u64 {
+        addr & !(self.cfg.line - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SetAssocCache {
+        // 4 sets x 2 ways x 64 B = 512 B.
+        SetAssocCache::new(CacheConfig::new(512, 2, 64).unwrap())
+    }
+
+    #[test]
+    fn config_presets_match_table_1() {
+        assert_eq!(CacheConfig::l1().capacity(), 64 * 1024);
+        assert_eq!(CacheConfig::l1().associativity(), 4);
+        assert_eq!(CacheConfig::l2().capacity(), 256 * 1024);
+        assert_eq!(CacheConfig::llc().capacity(), 8 * 1024 * 1024);
+        assert_eq!(CacheConfig::llc().associativity(), 16);
+    }
+
+    #[test]
+    fn config_rejects_bad_shapes() {
+        assert!(matches!(
+            CacheConfig::new(0, 4, 64),
+            Err(CacheConfigError::BadCapacity { .. })
+        ));
+        assert_eq!(
+            CacheConfig::new(1024, 0, 64),
+            Err(CacheConfigError::ZeroAssociativity)
+        );
+        assert_eq!(
+            CacheConfig::new(1024, 4, 60),
+            Err(CacheConfigError::BadLineSize(60))
+        );
+        // 3 sets.
+        assert!(matches!(
+            CacheConfig::new(3 * 2 * 64, 2, 64),
+            Err(CacheConfigError::SetsNotPowerOfTwo(3))
+        ));
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = small();
+        assert!(!c.access(0, false).hit);
+        assert!(c.access(0, false).hit);
+        assert!(c.access(63, false).hit, "same line, different byte");
+        assert!(!c.access(64, false).hit, "next line");
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = small();
+        // Set 0 holds lines whose (line index % 4) == 0: 0, 256, 512...
+        c.access(0, false);
+        c.access(256, false);
+        // Touch line 0 so 256 becomes LRU.
+        c.access(0, false);
+        let out = c.access(512, false);
+        assert!(!out.hit);
+        assert_eq!(out.evicted.unwrap().line_addr, 256);
+        assert!(c.probe(0));
+        assert!(!c.probe(256));
+    }
+
+    #[test]
+    fn dirty_victims_are_flagged() {
+        let mut c = small();
+        c.access(0, true); // dirty
+        c.access(256, false);
+        let out = c.access(512, false); // evicts 0 (LRU)
+        let ev = out.evicted.unwrap();
+        assert_eq!(ev.line_addr, 0);
+        assert!(ev.dirty);
+        assert_eq!(c.stats().dirty_evictions, 1);
+    }
+
+    #[test]
+    fn write_hit_sets_dirty() {
+        let mut c = small();
+        c.access(0, false);
+        c.access(0, true); // hit, now dirty
+        c.access(256, false);
+        let ev = c.access(512, false).evicted.unwrap();
+        assert!(ev.dirty);
+    }
+
+    #[test]
+    fn eviction_reconstructs_full_address() {
+        let mut c = small();
+        let addr = 0x1_2340; // line base 0x12340, set = (0x12340>>6)&3
+        c.access(addr, false);
+        // Fill the same set with two more lines to force eviction.
+        let set_stride = 4 * 64; // sets * line
+        c.access(addr + set_stride, false);
+        let ev = c.access(addr + 2 * set_stride, false).evicted.unwrap();
+        assert_eq!(ev.line_addr, c.line_base(addr));
+    }
+
+    #[test]
+    fn invalidate_removes_and_reports_dirty() {
+        let mut c = small();
+        c.access(0, true);
+        assert_eq!(c.invalidate(0), Some(true));
+        assert_eq!(c.invalidate(0), None);
+        assert!(!c.probe(0));
+    }
+
+    #[test]
+    fn mark_dirty_only_when_resident() {
+        let mut c = small();
+        assert!(!c.mark_dirty(0));
+        c.access(0, false);
+        assert!(c.mark_dirty(0));
+        assert_eq!(c.invalidate(0), Some(true));
+    }
+
+    #[test]
+    fn occupancy_and_resident_iteration() {
+        let mut c = small();
+        c.access(0, false);
+        c.access(64, false);
+        assert_eq!(c.occupancy(), 2);
+        let mut lines: Vec<u64> = c.resident_lines().collect();
+        lines.sort_unstable();
+        assert_eq!(lines, vec![0, 64]);
+    }
+
+    #[test]
+    fn associativity_capacity_exact() {
+        let mut c = small(); // 2-way
+        c.access(0, false);
+        c.access(256, false);
+        // Both fit; neither evicted.
+        assert!(c.probe(0) && c.probe(256));
+        assert_eq!(c.stats().misses(), 2);
+    }
+
+    #[test]
+    fn stats_hit_rate() {
+        let mut c = small();
+        c.access(0, false);
+        c.access(0, false);
+        c.access(0, false);
+        assert!((c.stats().hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The most recently touched line of a set is never the next victim.
+        #[test]
+        fn mru_line_survives_next_miss(addrs in proptest::collection::vec(0u64..4096, 1..200)) {
+            let mut c = SetAssocCache::new(CacheConfig::new(512, 2, 64).unwrap());
+            let mut last: Option<u64> = None;
+            for a in addrs {
+                let out = c.access(a, false);
+                if let (Some(prev), Some(ev)) = (last, out.evicted) {
+                    prop_assert_ne!(c.line_base(prev), ev.line_addr,
+                        "evicted the most recently used line");
+                }
+                last = Some(a);
+            }
+        }
+
+        /// Occupancy never exceeds total way count and probes agree with
+        /// the resident-line iterator.
+        #[test]
+        fn occupancy_bounded_and_consistent(addrs in proptest::collection::vec(0u64..65536, 1..300)) {
+            let mut c = SetAssocCache::new(CacheConfig::new(1024, 4, 64).unwrap());
+            for a in addrs {
+                c.access(a, a % 3 == 0);
+            }
+            prop_assert!(c.occupancy() <= 16); // 4 sets x 4 ways
+            for line in c.resident_lines() {
+                prop_assert!(c.probe(line));
+            }
+        }
+
+        /// A line is resident immediately after being accessed.
+        #[test]
+        fn accessed_line_is_resident(addrs in proptest::collection::vec(0u64..1u64<<20, 1..300)) {
+            let mut c = SetAssocCache::new(CacheConfig::new(2048, 2, 64).unwrap());
+            for a in addrs {
+                c.access(a, false);
+                prop_assert!(c.probe(a));
+            }
+        }
+
+        /// hits + misses == accesses.
+        #[test]
+        fn stats_balance(addrs in proptest::collection::vec(0u64..8192, 1..200)) {
+            let mut c = SetAssocCache::new(CacheConfig::new(512, 2, 64).unwrap());
+            for a in addrs.iter() {
+                c.access(*a, false);
+            }
+            prop_assert_eq!(c.stats().hits + c.stats().misses(), addrs.len() as u64);
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! The Free-FM-Stack (§3.3, §3.5).
+//!
+//! Every time a sector migrates from FM into NM, its vacated FM location is
+//! pushed here; the §3.5 allocator pops a location when it must swap a flat
+//! NM sector out to FM. The stack itself lives in the NM metadata region,
+//! but the stack pointer and the top entries are kept on-chip in the DCMC,
+//! so only pushes/pops beyond that window touch DRAM — the caller is told
+//! via [`StackEffect`] whether an NM metadata access must be charged.
+
+use sim_types::FmLoc;
+
+/// Whether a stack operation needed to touch the in-NM backing store.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StackEffect {
+    /// Depth of the entry touched (for metadata addressing).
+    pub depth: u64,
+    /// True if the operation went beyond the on-chip window and must be
+    /// charged as an NM metadata access.
+    pub touches_nm: bool,
+}
+
+/// The free-FM-location stack with an on-chip top window.
+#[derive(Clone, Debug)]
+pub struct FreeFmStack {
+    entries: Vec<FmLoc>,
+    onchip: usize,
+    capacity: u64,
+}
+
+impl FreeFmStack {
+    /// Creates an empty stack bounded by `capacity` (the number of sectors
+    /// that fit in the DRAM cache, §3.3) keeping `onchip` entries on-chip.
+    pub fn new(capacity: u64, onchip: usize) -> Self {
+        FreeFmStack {
+            entries: Vec::new(),
+            onchip,
+            capacity,
+        }
+    }
+
+    /// Number of free FM locations currently recorded.
+    pub fn len(&self) -> u64 {
+        self.entries.len() as u64
+    }
+
+    /// True when no free FM location is available.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Pushes a vacated FM location.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stack exceeds its §3.3 bound (the number of cache
+    /// sectors) — that would mean the DCMC leaked FM locations.
+    pub fn push(&mut self, loc: FmLoc) -> StackEffect {
+        assert!(
+            self.len() < self.capacity,
+            "free-FM-stack overflow: pushed more vacancies than cache sectors"
+        );
+        let depth = self.entries.len() as u64;
+        self.entries.push(loc);
+        StackEffect {
+            depth,
+            touches_nm: self.entries.len() > self.onchip,
+        }
+    }
+
+    /// Pops the most recently freed FM location.
+    pub fn pop(&mut self) -> Option<(FmLoc, StackEffect)> {
+        let loc = self.entries.pop()?;
+        let depth = self.entries.len() as u64;
+        Some((
+            loc,
+            StackEffect {
+                depth,
+                touches_nm: self.entries.len() + 1 > self.onchip,
+            },
+        ))
+    }
+
+    /// All recorded free locations, bottom to top (for invariant tests).
+    pub fn as_slice(&self) -> &[FmLoc] {
+        &self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_order() {
+        let mut s = FreeFmStack::new(16, 4);
+        s.push(FmLoc::new(1));
+        s.push(FmLoc::new(2));
+        assert_eq!(s.pop().unwrap().0, FmLoc::new(2));
+        assert_eq!(s.pop().unwrap().0, FmLoc::new(1));
+        assert!(s.pop().is_none());
+    }
+
+    #[test]
+    fn onchip_window_avoids_nm_traffic() {
+        let mut s = FreeFmStack::new(16, 2);
+        assert!(!s.push(FmLoc::new(1)).touches_nm);
+        assert!(!s.push(FmLoc::new(2)).touches_nm);
+        assert!(s.push(FmLoc::new(3)).touches_nm, "third entry spills");
+        let (_, e) = s.pop().unwrap();
+        assert!(e.touches_nm, "popping the spilled entry reads NM");
+        let (_, e) = s.pop().unwrap();
+        assert!(!e.touches_nm);
+    }
+
+    #[test]
+    fn depth_reported_for_addressing() {
+        let mut s = FreeFmStack::new(16, 1);
+        assert_eq!(s.push(FmLoc::new(9)).depth, 0);
+        assert_eq!(s.push(FmLoc::new(8)).depth, 1);
+        assert_eq!(s.pop().unwrap().1.depth, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overflow_is_a_bug() {
+        let mut s = FreeFmStack::new(1, 1);
+        s.push(FmLoc::new(0));
+        s.push(FmLoc::new(1));
+    }
+
+    #[test]
+    fn emptiness_and_len() {
+        let mut s = FreeFmStack::new(4, 4);
+        assert!(s.is_empty());
+        s.push(FmLoc::new(0));
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+    }
+}

@@ -1,0 +1,54 @@
+//! The Hybrid2 DRAM Cache Migration Controller (DCMC).
+//!
+//! This crate is the paper's contribution (§3): a hybrid memory controller
+//! that dedicates a small slice of near memory (64 MB of 1–4 GB in the
+//! paper) to a *sectored DRAM cache* whose tags — the eXtended Tag Array
+//! ([`xta::Xta`]) — live on-chip, while the rest of NM joins FM in a flat,
+//! hardware-migrated address space. One mechanism serves both worlds:
+//!
+//! * the XTA holds, per cached sector, the conventional sectored-cache state
+//!   (tag, per-line valid/dirty bits) **plus** an NM pointer and an FM
+//!   pointer, so it doubles as a cache of the in-NM remap tables;
+//! * data is fetched into the cache at *cache line* granularity (256 B) but
+//!   tagged at *sector* granularity (2 KB), bounding both tag size and
+//!   over-fetch;
+//! * migration into NM is decided **at cache eviction time**, using the
+//!   access history the cache observed (§3.7: set-relative access counters,
+//!   a net-cost function, and an FM-bandwidth budget);
+//! * the NM pointer indirection lets a sector that wins migration simply
+//!   *stay where it already is* — no NM-to-NM copy (§3.6 case 1 / §3.5).
+//!
+//! The crate exposes the full mechanism plus the ablation variants of
+//! Figure 14 ([`Variant::CacheOnly`], [`Variant::MigrateAll`],
+//! [`Variant::MigrateNone`], [`Variant::NoRemap`]).
+//!
+//! # Example
+//!
+//! ```
+//! use hybrid2_core::{Dcmc, Hybrid2Config};
+//! use dram::{DramSystem, MemoryScheme};
+//! use sim_types::{Cycle, MemReq, PAddr};
+//!
+//! let cfg = Hybrid2Config::scaled_down(64)?; // paper config at 1/64 scale
+//! let mut dcmc = Dcmc::new(cfg)?;
+//! let mut dram = DramSystem::paper_default();
+//! let served = dcmc.access(&MemReq::read(PAddr::new(0), 64, Cycle::ZERO), &mut dram);
+//! assert!(served.done > Cycle::ZERO);
+//! # Ok::<(), hybrid2_core::ConfigError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod dcmc;
+mod free_stack;
+mod migrate;
+mod remap;
+pub mod xta;
+
+pub use config::{ConfigError, Hybrid2Config, Layout, Variant};
+pub use dcmc::Dcmc;
+pub use free_stack::FreeFmStack;
+pub use migrate::{decide, CostInputs, Decision};
+pub use remap::{Loc, RemapTables, SlotState};

@@ -1,0 +1,224 @@
+//! Device configuration: organization, timing and energy parameters.
+
+use core::fmt;
+
+use sim_types::ClockRatio;
+
+/// Errors returned by [`DeviceConfig::validate`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeviceConfigError {
+    /// `channels` must be a non-zero power of two (address interleaving).
+    BadChannels(u32),
+    /// `banks_per_channel` must be a non-zero power of two.
+    BadBanks(u32),
+    /// `row_bytes` must be a non-zero power of two.
+    BadRowBytes(u64),
+    /// `interleave_bytes` must be a non-zero power of two.
+    BadInterleave(u64),
+    /// `bytes_per_cycle` must be non-zero.
+    ZeroBusWidth,
+}
+
+impl fmt::Display for DeviceConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            DeviceConfigError::BadChannels(c) => {
+                write!(f, "channel count {c} is not a non-zero power of two")
+            }
+            DeviceConfigError::BadBanks(b) => {
+                write!(f, "bank count {b} is not a non-zero power of two")
+            }
+            DeviceConfigError::BadRowBytes(r) => {
+                write!(f, "row size {r} is not a non-zero power of two")
+            }
+            DeviceConfigError::BadInterleave(i) => {
+                write!(f, "interleave granule {i} is not a non-zero power of two")
+            }
+            DeviceConfigError::ZeroBusWidth => f.write_str("bus width must be non-zero"),
+        }
+    }
+}
+
+impl std::error::Error for DeviceConfigError {}
+
+/// Organization, timing and energy of one DRAM device (NM or FM).
+///
+/// Timing values are in *device* clock cycles; [`DeviceConfig::clock`]
+/// converts them to CPU cycles. The presets encode Table 1 of the paper.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeviceConfig {
+    /// Human-readable device name for reports (e.g. `"HBM2"`).
+    pub name: &'static str,
+    /// Number of independent channels (each with its own data bus).
+    pub channels: u32,
+    /// Banks per channel.
+    pub banks_per_channel: u32,
+    /// Row-buffer size in bytes per bank.
+    pub row_bytes: u64,
+    /// Consecutive-address interleave granule across channels, in bytes.
+    pub interleave_bytes: u64,
+    /// Data transferred per device clock cycle per channel, in bytes.
+    pub bytes_per_cycle: u32,
+    /// Column access latency (device cycles).
+    pub t_cas: u64,
+    /// RAS-to-CAS delay (device cycles).
+    pub t_rcd: u64,
+    /// Row precharge time (device cycles).
+    pub t_rp: u64,
+    /// CPU-clock/device-clock ratio.
+    pub clock: ClockRatio,
+    /// Read/write + I/O energy in femtojoules per bit (Table 1 lists pJ/bit;
+    /// femtojoules keep the arithmetic integral: 6.4 pJ/bit = 6400 fJ/bit).
+    pub rw_fj_per_bit: u64,
+    /// Activate+precharge energy per row activation, in picojoules
+    /// (15 nJ = 15_000 pJ).
+    pub act_pre_pj: u64,
+}
+
+impl DeviceConfig {
+    /// Table 1 near memory: HBM2, 2 GT/s, 8 × 128-bit channels, 8 banks,
+    /// 7-7-7, 6.4 pJ/bit, 15 nJ ACT/PRE. CPU at 3.2 GHz → ratio 8/5.
+    pub fn hbm2_near_memory() -> Self {
+        DeviceConfig {
+            name: "HBM2",
+            channels: 8,
+            banks_per_channel: 8,
+            row_bytes: 2048,
+            interleave_bytes: 256,
+            bytes_per_cycle: 16, // 128-bit interface at the 2 GT/s data rate
+            t_cas: 7,
+            t_rcd: 7,
+            t_rp: 7,
+            clock: ClockRatio::new(8, 5), // 3.2 GHz / 2.0 GHz
+            rw_fj_per_bit: 6_400,
+            act_pre_pj: 15_000,
+        }
+    }
+
+    /// Table 1 far memory: DDR4-3200, 2 × 64-bit channels, 8 banks,
+    /// 22-22-22, 33 pJ/bit, 15 nJ ACT/PRE. I/O clock 1.6 GHz → ratio 2/1.
+    pub fn ddr4_far_memory() -> Self {
+        DeviceConfig {
+            name: "DDR4-3200",
+            channels: 2,
+            banks_per_channel: 8,
+            row_bytes: 2048,
+            interleave_bytes: 256,
+            bytes_per_cycle: 16, // 64-bit interface, double data rate
+            t_cas: 22,
+            t_rcd: 22,
+            t_rp: 22,
+            clock: ClockRatio::new(2, 1), // 3.2 GHz / 1.6 GHz
+            rw_fj_per_bit: 33_000,
+            act_pre_pj: 15_000,
+        }
+    }
+
+    /// Checks structural invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated [`DeviceConfigError`].
+    pub fn validate(&self) -> Result<(), DeviceConfigError> {
+        if self.channels == 0 || !self.channels.is_power_of_two() {
+            return Err(DeviceConfigError::BadChannels(self.channels));
+        }
+        if self.banks_per_channel == 0 || !self.banks_per_channel.is_power_of_two() {
+            return Err(DeviceConfigError::BadBanks(self.banks_per_channel));
+        }
+        if self.row_bytes == 0 || !self.row_bytes.is_power_of_two() {
+            return Err(DeviceConfigError::BadRowBytes(self.row_bytes));
+        }
+        if self.interleave_bytes == 0 || !self.interleave_bytes.is_power_of_two() {
+            return Err(DeviceConfigError::BadInterleave(self.interleave_bytes));
+        }
+        if self.bytes_per_cycle == 0 {
+            return Err(DeviceConfigError::ZeroBusWidth);
+        }
+        Ok(())
+    }
+
+    /// Peak bandwidth in bytes per CPU cycle across all channels (float, for
+    /// reporting only).
+    pub fn peak_bytes_per_cpu_cycle(&self) -> f64 {
+        let per_channel =
+            self.bytes_per_cycle as f64 * self.clock.den() as f64 / self.clock.num() as f64;
+        per_channel * self.channels as f64
+    }
+
+    /// Uncontended row-miss read latency in CPU cycles for a `bytes` burst:
+    /// activate + CAS + transfer.
+    pub fn idle_miss_latency(&self, bytes: u32) -> u64 {
+        self.clock
+            .to_cpu(self.t_rcd + self.t_cas + self.transfer_cycles(bytes))
+    }
+
+    /// Device cycles the data bus is busy transferring `bytes`.
+    pub(crate) fn transfer_cycles(&self, bytes: u32) -> u64 {
+        u64::from(bytes).div_ceil(u64::from(self.bytes_per_cycle))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid() {
+        DeviceConfig::hbm2_near_memory().validate().unwrap();
+        DeviceConfig::ddr4_far_memory().validate().unwrap();
+    }
+
+    #[test]
+    fn nm_has_higher_peak_bandwidth_than_fm() {
+        let nm = DeviceConfig::hbm2_near_memory().peak_bytes_per_cpu_cycle();
+        let fm = DeviceConfig::ddr4_far_memory().peak_bytes_per_cpu_cycle();
+        // Paper: 256 GB/s HBM2 vs 51.2 GB/s DDR4 -> 5x.
+        assert!(nm / fm > 4.0 && nm / fm < 6.0, "ratio was {}", nm / fm);
+    }
+
+    #[test]
+    fn nm_idle_latency_lower_than_fm() {
+        let nm = DeviceConfig::hbm2_near_memory().idle_miss_latency(64);
+        let fm = DeviceConfig::ddr4_far_memory().idle_miss_latency(64);
+        assert!(nm < fm, "NM {nm} should be faster than FM {fm}");
+        // DDR4: (22+22+4)*2 = 96 CPU cycles = 30 ns at 3.2 GHz.
+        assert_eq!(fm, 96);
+        // HBM2: ceil((7+7+4)*8/5) = 29 CPU cycles ≈ 9 ns.
+        assert_eq!(nm, 29);
+    }
+
+    #[test]
+    fn validation_catches_each_field() {
+        let base = DeviceConfig::hbm2_near_memory();
+        let mut c = base.clone();
+        c.channels = 3;
+        assert_eq!(c.validate(), Err(DeviceConfigError::BadChannels(3)));
+        let mut c = base.clone();
+        c.banks_per_channel = 0;
+        assert_eq!(c.validate(), Err(DeviceConfigError::BadBanks(0)));
+        let mut c = base.clone();
+        c.row_bytes = 1000;
+        assert_eq!(c.validate(), Err(DeviceConfigError::BadRowBytes(1000)));
+        let mut c = base.clone();
+        c.interleave_bytes = 100;
+        assert_eq!(c.validate(), Err(DeviceConfigError::BadInterleave(100)));
+        let mut c = base;
+        c.bytes_per_cycle = 0;
+        assert_eq!(c.validate(), Err(DeviceConfigError::ZeroBusWidth));
+    }
+
+    #[test]
+    fn transfer_cycles_round_up() {
+        let c = DeviceConfig::hbm2_near_memory();
+        assert_eq!(c.transfer_cycles(64), 4);
+        assert_eq!(c.transfer_cycles(65), 5);
+        assert_eq!(c.transfer_cycles(1), 1);
+    }
+
+    #[test]
+    fn error_messages_mention_the_field() {
+        assert!(DeviceConfigError::BadChannels(3).to_string().contains("channel"));
+        assert!(DeviceConfigError::ZeroBusWidth.to_string().contains("bus"));
+    }
+}

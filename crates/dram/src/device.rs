@@ -1,0 +1,456 @@
+//! One DRAM device: channels, banks, row buffers, data buses.
+
+use sim_types::{AccessKind, Cycle, TrafficClass};
+
+use crate::config::DeviceConfig;
+use crate::energy::EnergyCounter;
+
+/// One access presented to a [`DramDevice`].
+///
+/// `addr` is a *device byte address*: schemes translate sector locations
+/// (`NmLoc`/`FmLoc`) and metadata offsets into this space before calling the
+/// device, so that interleaving and row locality behave like hardware.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DramAccess {
+    /// Device byte address of the first byte touched.
+    pub addr: u64,
+    /// Burst length in bytes.
+    pub bytes: u32,
+    /// Read or write (both occupy the bus; energy is charged identically per
+    /// Table 1's combined RD/WR+I/O figure).
+    pub kind: AccessKind,
+    /// Accounting class (demand/fill/writeback/migration/metadata).
+    pub class: TrafficClass,
+    /// Cycle the access arrives at the device controller.
+    pub at: Cycle,
+}
+
+/// Per-bank state: which row is open and when the bank is next available.
+#[derive(Clone, Copy, Debug, Default)]
+struct Bank {
+    open_row: Option<u64>,
+    ready: Cycle,
+}
+
+/// Traffic statistics kept by a device, broken down by [`TrafficClass`].
+#[derive(Clone, Debug, Default)]
+pub struct DeviceStats {
+    /// Total accesses served.
+    pub accesses: u64,
+    /// Accesses that hit the open row buffer.
+    pub row_hits: u64,
+    /// Row activations performed.
+    pub activations: u64,
+    /// Read accesses.
+    pub reads: u64,
+    /// Write accesses.
+    pub writes: u64,
+    /// Bytes moved per traffic class, indexed by [`TrafficClass::index`].
+    pub bytes_by_class: [u64; 5],
+}
+
+impl DeviceStats {
+    /// Total bytes moved across all classes.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_by_class.iter().sum()
+    }
+
+    /// Bytes moved for one class.
+    pub fn bytes(&self, class: TrafficClass) -> u64 {
+        self.bytes_by_class[class.index()]
+    }
+
+    /// Row-buffer hit rate in [0, 1]; 0 when idle.
+    pub fn row_hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// A DRAM device (the NM HBM2 stack or the FM DDR4 DIMMs).
+///
+/// The device is a timing *calculator*: [`DramDevice::access`] returns the
+/// CPU cycle at which the burst completes, advancing bank and bus state.
+/// Accesses must be presented in the order they reach the controller; the
+/// surrounding simulator guarantees this by processing cores
+/// smallest-cycle-first.
+#[derive(Clone, Debug)]
+pub struct DramDevice {
+    cfg: DeviceConfig,
+    banks: Vec<Bank>,
+    bus_free: Vec<Cycle>,
+    stats: DeviceStats,
+    energy: EnergyCounter,
+    chan_mask: u64,
+    chan_shift: u32,
+    t_cas_cpu: u64,
+    t_rcd_cpu: u64,
+    t_rp_cpu: u64,
+}
+
+impl DramDevice {
+    /// Builds a device from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid; validate configs at the edge
+    /// with [`DeviceConfig::validate`] for a recoverable error.
+    pub fn new(cfg: DeviceConfig) -> Self {
+        cfg.validate().expect("invalid DRAM device configuration");
+        let banks = vec![Bank::default(); (cfg.channels * cfg.banks_per_channel) as usize];
+        let bus_free = vec![Cycle::ZERO; cfg.channels as usize];
+        let t_cas_cpu = cfg.clock.to_cpu(cfg.t_cas);
+        let t_rcd_cpu = cfg.clock.to_cpu(cfg.t_rcd);
+        let t_rp_cpu = cfg.clock.to_cpu(cfg.t_rp);
+        DramDevice {
+            chan_mask: u64::from(cfg.channels) - 1,
+            chan_shift: cfg.interleave_bytes.trailing_zeros(),
+            banks,
+            bus_free,
+            stats: DeviceStats::default(),
+            energy: EnergyCounter::new(),
+            t_cas_cpu,
+            t_rcd_cpu,
+            t_rp_cpu,
+            cfg,
+        }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.cfg
+    }
+
+    /// Accumulated traffic statistics.
+    pub fn stats(&self) -> &DeviceStats {
+        &self.stats
+    }
+
+    /// Accumulated dynamic energy.
+    pub fn energy(&self) -> &EnergyCounter {
+        &self.energy
+    }
+
+    /// Decomposes a device byte address into (channel, bank-index, row).
+    fn map(&self, addr: u64) -> (usize, usize, u64) {
+        let channel = ((addr >> self.chan_shift) & self.chan_mask) as usize;
+        // Remove the channel bits so consecutive granules within a channel
+        // are contiguous in bank/row space.
+        let high = addr >> (self.chan_shift + self.chan_mask.count_ones());
+        let low = addr & ((1 << self.chan_shift) - 1);
+        let chan_addr = (high << self.chan_shift) | low;
+        let row_global = chan_addr / self.cfg.row_bytes;
+        let bank_in_chan = (row_global % u64::from(self.cfg.banks_per_channel)) as usize;
+        let row = row_global / u64::from(self.cfg.banks_per_channel);
+        let bank = channel * self.cfg.banks_per_channel as usize + bank_in_chan;
+        (channel, bank, row)
+    }
+
+    /// Serves one access and returns its completion cycle.
+    ///
+    /// Timing: the access starts when the bank is free and the request has
+    /// arrived; a row hit pays tCAS, a row conflict pays tRP+tRCD+tCAS, an
+    /// empty bank pays tRCD+tCAS; data transfer then waits for the channel
+    /// data bus and occupies it for the burst duration.
+    pub fn access(&mut self, a: DramAccess) -> Cycle {
+        debug_assert!(a.bytes > 0, "zero-length DRAM access");
+        let (channel, bank_idx, row) = self.map(a.addr);
+        let bank = &mut self.banks[bank_idx];
+
+        let start = a.at.max(bank.ready);
+        let (array_latency, activated) = match bank.open_row {
+            Some(open) if open == row => (self.t_cas_cpu, false),
+            Some(_) => (self.t_rp_cpu + self.t_rcd_cpu + self.t_cas_cpu, true),
+            None => (self.t_rcd_cpu + self.t_cas_cpu, true),
+        };
+        let data_ready = start + array_latency;
+        let transfer = self.cfg.clock.to_cpu(self.cfg.transfer_cycles(a.bytes));
+        let bus_start = data_ready.max(self.bus_free[channel]);
+        let done = bus_start + transfer;
+
+        bank.open_row = Some(row);
+        bank.ready = done;
+        self.bus_free[channel] = done;
+
+        self.stats.accesses += 1;
+        if activated {
+            self.stats.activations += 1;
+            self.energy.add_activation(self.cfg.act_pre_pj);
+        } else {
+            self.stats.row_hits += 1;
+        }
+        match a.kind {
+            AccessKind::Read => self.stats.reads += 1,
+            AccessKind::Write => self.stats.writes += 1,
+        }
+        self.stats.bytes_by_class[a.class.index()] += u64::from(a.bytes);
+        self.energy.add_burst(u64::from(a.bytes), self.cfg.rw_fj_per_bit);
+
+        done
+    }
+
+    /// Serves a multi-line burst (`count` back-to-back accesses of `bytes`
+    /// starting at `addr`), returning the completion of the last one.
+    /// Used for sector migrations and page fills.
+    pub fn burst(
+        &mut self,
+        addr: u64,
+        bytes: u32,
+        count: u32,
+        kind: AccessKind,
+        class: TrafficClass,
+        at: Cycle,
+    ) -> Cycle {
+        let mut done = at;
+        for i in 0..count {
+            done = self.access(DramAccess {
+                addr: addr + u64::from(i) * u64::from(bytes),
+                bytes,
+                kind,
+                class,
+                at,
+            });
+        }
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read_at(dev: &mut DramDevice, addr: u64, at: Cycle) -> Cycle {
+        dev.access(DramAccess {
+            addr,
+            bytes: 64,
+            kind: AccessKind::Read,
+            class: TrafficClass::Demand,
+            at,
+        })
+    }
+
+    #[test]
+    fn row_hit_is_faster_than_row_miss() {
+        let mut dev = DramDevice::new(DeviceConfig::ddr4_far_memory());
+        let t1 = read_at(&mut dev, 0, Cycle::ZERO);
+        let t2 = read_at(&mut dev, 64, t1); // same row -> hit
+        let miss_latency = t1 - Cycle::ZERO;
+        let hit_latency = t2 - t1;
+        assert!(hit_latency < miss_latency, "{hit_latency} !< {miss_latency}");
+        assert_eq!(dev.stats().row_hits, 1);
+        assert_eq!(dev.stats().activations, 1);
+    }
+
+    #[test]
+    fn row_conflict_pays_precharge() {
+        let cfg = DeviceConfig::ddr4_far_memory();
+        let row_stride =
+            cfg.row_bytes * u64::from(cfg.banks_per_channel) * u64::from(cfg.channels);
+        let mut dev = DramDevice::new(cfg);
+        let t1 = read_at(&mut dev, 0, Cycle::ZERO);
+        // Same channel & bank, different row: conflict.
+        let t2 = read_at(&mut dev, row_stride, t1);
+        let first = t1 - Cycle::ZERO; // empty bank: tRCD+tCAS+transfer
+        let conflict = t2 - t1; // tRP+tRCD+tCAS+transfer
+        assert!(conflict > first);
+    }
+
+    #[test]
+    fn different_channels_proceed_in_parallel() {
+        let cfg = DeviceConfig::hbm2_near_memory();
+        let interleave = cfg.interleave_bytes;
+        let mut dev = DramDevice::new(cfg);
+        let a = read_at(&mut dev, 0, Cycle::ZERO);
+        // Next interleave granule lands on channel 1; issued at time zero it
+        // must not queue behind channel 0's access.
+        let b = read_at(&mut dev, interleave, Cycle::ZERO);
+        assert_eq!(a - Cycle::ZERO, b - Cycle::ZERO);
+    }
+
+    #[test]
+    fn same_bank_back_to_back_serializes() {
+        let mut dev = DramDevice::new(DeviceConfig::ddr4_far_memory());
+        let t1 = read_at(&mut dev, 0, Cycle::ZERO);
+        // Arrives at cycle 0 but the bank is busy until t1.
+        let t2 = read_at(&mut dev, 64, Cycle::ZERO);
+        assert!(t2 > t1);
+    }
+
+    #[test]
+    fn completion_never_precedes_arrival() {
+        let mut dev = DramDevice::new(DeviceConfig::hbm2_near_memory());
+        let done = read_at(&mut dev, 4096, Cycle::new(1000));
+        assert!(done > Cycle::new(1000));
+    }
+
+    #[test]
+    fn nm_read_faster_than_fm_read_when_idle() {
+        let mut nm = DramDevice::new(DeviceConfig::hbm2_near_memory());
+        let mut fm = DramDevice::new(DeviceConfig::ddr4_far_memory());
+        let n = read_at(&mut nm, 0, Cycle::ZERO) - Cycle::ZERO;
+        let f = read_at(&mut fm, 0, Cycle::ZERO) - Cycle::ZERO;
+        assert!(n < f);
+    }
+
+    #[test]
+    fn bandwidth_saturation_fm_slower_than_nm() {
+        // Stream 512 KiB through each device; FM (2 narrow channels) must
+        // take substantially longer than NM (8 wide channels).
+        let mut nm = DramDevice::new(DeviceConfig::hbm2_near_memory());
+        let mut fm = DramDevice::new(DeviceConfig::ddr4_far_memory());
+        let mut nm_done = Cycle::ZERO;
+        let mut fm_done = Cycle::ZERO;
+        for i in 0..8192u64 {
+            nm_done = read_at(&mut nm, i * 64, Cycle::ZERO).max(nm_done);
+            fm_done = read_at(&mut fm, i * 64, Cycle::ZERO).max(fm_done);
+        }
+        let ratio = (fm_done.raw()) as f64 / (nm_done.raw()) as f64;
+        assert!(ratio > 3.0, "FM/NM streaming-time ratio was {ratio}");
+    }
+
+    #[test]
+    fn stats_track_bytes_by_class() {
+        let mut dev = DramDevice::new(DeviceConfig::hbm2_near_memory());
+        dev.access(DramAccess {
+            addr: 0,
+            bytes: 64,
+            kind: AccessKind::Read,
+            class: TrafficClass::Demand,
+            at: Cycle::ZERO,
+        });
+        dev.access(DramAccess {
+            addr: 64,
+            bytes: 128,
+            kind: AccessKind::Write,
+            class: TrafficClass::Migration,
+            at: Cycle::ZERO,
+        });
+        assert_eq!(dev.stats().bytes(TrafficClass::Demand), 64);
+        assert_eq!(dev.stats().bytes(TrafficClass::Migration), 128);
+        assert_eq!(dev.stats().total_bytes(), 192);
+        assert_eq!(dev.stats().reads, 1);
+        assert_eq!(dev.stats().writes, 1);
+    }
+
+    #[test]
+    fn energy_charged_per_burst_and_activation() {
+        let mut dev = DramDevice::new(DeviceConfig::hbm2_near_memory());
+        read_at(&mut dev, 0, Cycle::ZERO); // activation + 64B
+        read_at(&mut dev, 64, Cycle::ZERO); // row hit + 64B
+        assert_eq!(dev.energy().activations(), 1);
+        // Two 64-byte bursts at 6.4 pJ/bit.
+        let expected_rw = 2.0 * 64.0 * 8.0 * 6.4e-9; // mJ
+        assert!((dev.energy().rw_mj() - expected_rw).abs() < 1e-12);
+    }
+
+    #[test]
+    fn burst_helper_moves_all_lines() {
+        let mut dev = DramDevice::new(DeviceConfig::ddr4_far_memory());
+        let done = dev.burst(0, 256, 8, AccessKind::Write, TrafficClass::Migration, Cycle::ZERO);
+        assert_eq!(dev.stats().accesses, 8);
+        assert_eq!(dev.stats().bytes(TrafficClass::Migration), 2048);
+        assert!(done > Cycle::ZERO);
+    }
+
+    #[test]
+    fn row_hit_rate_reporting() {
+        let mut dev = DramDevice::new(DeviceConfig::ddr4_far_memory());
+        assert_eq!(dev.stats().row_hit_rate(), 0.0);
+        read_at(&mut dev, 0, Cycle::ZERO);
+        read_at(&mut dev, 64, Cycle::ZERO);
+        read_at(&mut dev, 128, Cycle::ZERO);
+        let r = dev.stats().row_hit_rate();
+        assert!((r - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid DRAM device configuration")]
+    fn invalid_config_panics_on_construction() {
+        let mut cfg = DeviceConfig::hbm2_near_memory();
+        cfg.channels = 3;
+        let _ = DramDevice::new(cfg);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Completion never precedes arrival, for any access sequence on
+        /// either device.
+        #[test]
+        fn completion_follows_arrival(
+            ops in proptest::collection::vec((0u64..1u64<<22, 1u32..4096, any::<bool>(), 0u64..10_000), 1..200),
+            nm in any::<bool>(),
+        ) {
+            let cfg = if nm {
+                DeviceConfig::hbm2_near_memory()
+            } else {
+                DeviceConfig::ddr4_far_memory()
+            };
+            let mut dev = DramDevice::new(cfg);
+            let mut t = Cycle::ZERO;
+            for (addr, bytes, write, gap) in ops {
+                t += gap;
+                let done = dev.access(DramAccess {
+                    addr,
+                    bytes,
+                    kind: if write { AccessKind::Write } else { AccessKind::Read },
+                    class: TrafficClass::Demand,
+                    at: t,
+                });
+                prop_assert!(done > t, "completion {done:?} must follow arrival {t:?}");
+            }
+        }
+
+        /// Byte accounting is exact: total bytes equals the sum of burst
+        /// lengths, and reads + writes equals accesses.
+        #[test]
+        fn stats_accounting_is_exact(
+            ops in proptest::collection::vec((0u64..1u64<<20, 1u32..512, any::<bool>()), 1..100)
+        ) {
+            let mut dev = DramDevice::new(DeviceConfig::ddr4_far_memory());
+            let mut expect_bytes = 0u64;
+            for (addr, bytes, write) in &ops {
+                expect_bytes += u64::from(*bytes);
+                dev.access(DramAccess {
+                    addr: *addr,
+                    bytes: *bytes,
+                    kind: if *write { AccessKind::Write } else { AccessKind::Read },
+                    class: TrafficClass::Migration,
+                    at: Cycle::ZERO,
+                });
+            }
+            prop_assert_eq!(dev.stats().total_bytes(), expect_bytes);
+            prop_assert_eq!(dev.stats().reads + dev.stats().writes, ops.len() as u64);
+            prop_assert_eq!(dev.stats().row_hits + dev.stats().activations, ops.len() as u64);
+        }
+
+        /// Row-buffer hits are never slower than the conflict path would be:
+        /// a second access to the same row from the same arrival time
+        /// completes no later than one to a conflicting row.
+        #[test]
+        fn row_hit_no_slower_than_conflict(addr in (0u64..1u64<<20).prop_map(|a| a & !63)) {
+            let cfg = DeviceConfig::ddr4_far_memory();
+            let row_stride = cfg.row_bytes * u64::from(cfg.banks_per_channel) * u64::from(cfg.channels);
+            let mk = |conflict: bool| {
+                let mut dev = DramDevice::new(DeviceConfig::ddr4_far_memory());
+                let t1 = dev.access(DramAccess {
+                    addr, bytes: 64, kind: AccessKind::Read,
+                    class: TrafficClass::Demand, at: Cycle::ZERO,
+                });
+                let second = if conflict { addr + row_stride } else { addr ^ 64 };
+                dev.access(DramAccess {
+                    addr: second, bytes: 64, kind: AccessKind::Read,
+                    class: TrafficClass::Demand, at: t1,
+                })
+            };
+            prop_assert!(mk(false) <= mk(true));
+        }
+    }
+}

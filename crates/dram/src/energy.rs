@@ -1,0 +1,138 @@
+//! Dynamic-energy accounting (Figure 18 of the paper).
+//!
+//! The paper reports *dynamic* memory energy only (static/refresh energy is
+//! proportional to runtime and excluded). We mirror that: every data burst
+//! charges read/write + I/O energy per bit, and every row activation charges
+//! one ACT/PRE pair.
+
+use core::fmt;
+
+/// Accumulates dynamic energy in femtojoules (integer, deterministic).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EnergyCounter {
+    rw_fj: u128,
+    act_fj: u128,
+    activations: u64,
+}
+
+impl EnergyCounter {
+    /// A zeroed counter.
+    pub const fn new() -> Self {
+        EnergyCounter {
+            rw_fj: 0,
+            act_fj: 0,
+            activations: 0,
+        }
+    }
+
+    /// Charges a data burst of `bytes` at `fj_per_bit`.
+    #[inline]
+    pub fn add_burst(&mut self, bytes: u64, fj_per_bit: u64) {
+        self.rw_fj += u128::from(bytes) * 8 * u128::from(fj_per_bit);
+    }
+
+    /// Charges one row activate/precharge pair of `act_pre_pj` picojoules.
+    #[inline]
+    pub fn add_activation(&mut self, act_pre_pj: u64) {
+        self.act_fj += u128::from(act_pre_pj) * 1_000;
+        self.activations += 1;
+    }
+
+    /// Total dynamic energy in millijoules.
+    pub fn total_mj(&self) -> f64 {
+        (self.rw_fj + self.act_fj) as f64 * 1e-12
+    }
+
+    /// Read/write + I/O component in millijoules.
+    pub fn rw_mj(&self) -> f64 {
+        self.rw_fj as f64 * 1e-12
+    }
+
+    /// Activate/precharge component in millijoules.
+    pub fn act_mj(&self) -> f64 {
+        self.act_fj as f64 * 1e-12
+    }
+
+    /// Number of row activations charged.
+    pub fn activations(&self) -> u64 {
+        self.activations
+    }
+
+    /// Adds another counter into this one (for NM + FM totals).
+    pub fn merge(&mut self, other: &EnergyCounter) {
+        self.rw_fj += other.rw_fj;
+        self.act_fj += other.act_fj;
+        self.activations += other.activations;
+    }
+}
+
+impl fmt::Display for EnergyCounter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.3} mJ (rw {:.3} mJ, act {:.3} mJ, {} activations)",
+            self.total_mj(),
+            self.rw_mj(),
+            self.act_mj(),
+            self.activations
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_energy_matches_hand_computation() {
+        let mut e = EnergyCounter::new();
+        // 64 bytes at 6.4 pJ/bit = 64*8*6.4 pJ = 3276.8 pJ.
+        e.add_burst(64, 6_400);
+        assert!((e.rw_mj() - 3276.8e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn activation_energy_matches_table() {
+        let mut e = EnergyCounter::new();
+        e.add_activation(15_000); // 15 nJ
+        assert!((e.act_mj() - 15e-6).abs() < 1e-12);
+        assert_eq!(e.activations(), 1);
+    }
+
+    #[test]
+    fn totals_are_sums() {
+        let mut e = EnergyCounter::new();
+        e.add_burst(128, 33_000);
+        e.add_activation(15_000);
+        assert!((e.total_mj() - (e.rw_mj() + e.act_mj())).abs() < 1e-18);
+    }
+
+    #[test]
+    fn merge_adds_componentwise() {
+        let mut a = EnergyCounter::new();
+        a.add_burst(64, 6_400);
+        a.add_activation(15_000);
+        let mut b = EnergyCounter::new();
+        b.add_burst(64, 6_400);
+        b.merge(&a);
+        assert_eq!(b.activations(), 1);
+        assert!((b.rw_mj() - 2.0 * a.rw_mj()).abs() < 1e-18);
+    }
+
+    #[test]
+    fn display_mentions_units() {
+        let mut e = EnergyCounter::new();
+        e.add_burst(64, 6_400);
+        assert!(e.to_string().contains("mJ"));
+    }
+
+    #[test]
+    fn fm_bit_energy_exceeds_nm() {
+        // Sanity on Table 1: moving a byte in FM costs ~5x NM energy.
+        let mut nm = EnergyCounter::new();
+        nm.add_burst(64, 6_400);
+        let mut fm = EnergyCounter::new();
+        fm.add_burst(64, 33_000);
+        assert!(fm.rw_mj() > 4.0 * nm.rw_mj());
+    }
+}

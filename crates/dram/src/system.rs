@@ -1,0 +1,164 @@
+//! The two-device memory system: near memory + far memory.
+
+use sim_types::{AccessKind, Cycle, MemSide, TrafficClass};
+
+use crate::config::DeviceConfig;
+use crate::device::{DramAccess, DramDevice};
+use crate::energy::EnergyCounter;
+
+/// Near memory and far memory bundled together, as handed to schemes.
+#[derive(Clone, Debug)]
+pub struct DramSystem {
+    nm: DramDevice,
+    fm: DramDevice,
+}
+
+impl DramSystem {
+    /// Builds a system from two device configurations.
+    pub fn new(nm: DeviceConfig, fm: DeviceConfig) -> Self {
+        DramSystem {
+            nm: DramDevice::new(nm),
+            fm: DramDevice::new(fm),
+        }
+    }
+
+    /// The paper's Table 1 system: HBM2 near memory, DDR4-3200 far memory.
+    pub fn paper_default() -> Self {
+        Self::new(
+            DeviceConfig::hbm2_near_memory(),
+            DeviceConfig::ddr4_far_memory(),
+        )
+    }
+
+    /// Serves one access on the chosen side, returning its completion cycle.
+    pub fn access(
+        &mut self,
+        side: MemSide,
+        addr: u64,
+        bytes: u32,
+        kind: AccessKind,
+        class: TrafficClass,
+        at: Cycle,
+    ) -> Cycle {
+        self.device_mut(side).access(DramAccess {
+            addr,
+            bytes,
+            kind,
+            class,
+            at,
+        })
+    }
+
+    /// Serves `count` back-to-back line accesses on one side (sector moves).
+    #[allow(clippy::too_many_arguments)]
+    pub fn burst(
+        &mut self,
+        side: MemSide,
+        addr: u64,
+        bytes: u32,
+        count: u32,
+        kind: AccessKind,
+        class: TrafficClass,
+        at: Cycle,
+    ) -> Cycle {
+        self.device_mut(side).burst(addr, bytes, count, kind, class, at)
+    }
+
+    /// The device on `side`.
+    pub fn device(&self, side: MemSide) -> &DramDevice {
+        match side {
+            MemSide::Nm => &self.nm,
+            MemSide::Fm => &self.fm,
+        }
+    }
+
+    /// Mutable access to the device on `side`.
+    pub fn device_mut(&mut self, side: MemSide) -> &mut DramDevice {
+        match side {
+            MemSide::Nm => &mut self.nm,
+            MemSide::Fm => &mut self.fm,
+        }
+    }
+
+    /// Combined NM+FM dynamic energy.
+    pub fn total_energy(&self) -> EnergyCounter {
+        let mut e = EnergyCounter::new();
+        e.merge(self.nm.energy());
+        e.merge(self.fm.energy());
+        e
+    }
+
+    /// Total bytes moved on `side`.
+    pub fn traffic_bytes(&self, side: MemSide) -> u64 {
+        self.device(side).stats().total_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sides_route_to_distinct_devices() {
+        let mut sys = DramSystem::paper_default();
+        sys.access(
+            MemSide::Nm,
+            0,
+            64,
+            AccessKind::Read,
+            TrafficClass::Demand,
+            Cycle::ZERO,
+        );
+        assert_eq!(sys.device(MemSide::Nm).stats().accesses, 1);
+        assert_eq!(sys.device(MemSide::Fm).stats().accesses, 0);
+        sys.access(
+            MemSide::Fm,
+            0,
+            64,
+            AccessKind::Write,
+            TrafficClass::Writeback,
+            Cycle::ZERO,
+        );
+        assert_eq!(sys.device(MemSide::Fm).stats().writes, 1);
+    }
+
+    #[test]
+    fn traffic_helper_matches_device_stats() {
+        let mut sys = DramSystem::paper_default();
+        sys.burst(
+            MemSide::Fm,
+            0,
+            256,
+            8,
+            AccessKind::Read,
+            TrafficClass::Migration,
+            Cycle::ZERO,
+        );
+        assert_eq!(sys.traffic_bytes(MemSide::Fm), 2048);
+        assert_eq!(sys.traffic_bytes(MemSide::Nm), 0);
+    }
+
+    #[test]
+    fn total_energy_merges_both_sides() {
+        let mut sys = DramSystem::paper_default();
+        sys.access(
+            MemSide::Nm,
+            0,
+            64,
+            AccessKind::Read,
+            TrafficClass::Demand,
+            Cycle::ZERO,
+        );
+        sys.access(
+            MemSide::Fm,
+            0,
+            64,
+            AccessKind::Read,
+            TrafficClass::Demand,
+            Cycle::ZERO,
+        );
+        let total = sys.total_energy();
+        assert!(total.total_mj() > sys.device(MemSide::Nm).energy().total_mj());
+        assert_eq!(total.activations(), 2);
+    }
+}

@@ -1,0 +1,219 @@
+//! Address newtypes.
+//!
+//! The Hybrid2 controller juggles three distinct address spaces:
+//!
+//! * the *virtual* space seen by each workload thread ([`VAddr`]),
+//! * the *processor physical* space produced by page allocation ([`PAddr`]),
+//!   which is what the remap tables are indexed with, and
+//! * *device locations*: a sector slot inside near memory ([`NmLoc`]) or far
+//!   memory ([`FmLoc`]).
+//!
+//! Mixing these up is the classic bug in migration-scheme code, so each gets
+//! its own type. All are thin wrappers around `u64` with explicit
+//! constructors and accessors.
+
+use core::fmt;
+
+macro_rules! addr_newtype {
+    ($(#[$meta:meta])* $name:ident, $ctor_doc:expr, $raw_doc:expr) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(u64);
+
+        impl $name {
+            #[doc = $ctor_doc]
+            #[inline]
+            pub const fn new(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            #[doc = $raw_doc]
+            #[inline]
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({:#x})"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:#x}", self.0)
+            }
+        }
+
+        impl fmt::LowerHex for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::LowerHex::fmt(&self.0, f)
+            }
+        }
+
+        impl From<$name> for u64 {
+            fn from(a: $name) -> u64 {
+                a.0
+            }
+        }
+    };
+}
+
+addr_newtype!(
+    /// A byte address in a workload's virtual address space, before page
+    /// allocation assigns it a physical home.
+    VAddr,
+    "Creates a virtual address from its raw byte value.",
+    "Returns the raw byte value of this virtual address."
+);
+
+addr_newtype!(
+    /// A byte address in the *processor physical* address space — the space
+    /// the OS-visible flat memory is numbered in and the space the remap
+    /// table is indexed with. For cache-based schemes this is simply the far
+    /// memory address space.
+    PAddr,
+    "Creates a processor physical address from its raw byte value.",
+    "Returns the raw byte value of this physical address."
+);
+
+addr_newtype!(
+    /// The index of a *sector* (the paper's migration/caching granule, 2 KB
+    /// by default) within the processor physical address space:
+    /// `PAddr >> log2(sector_size)`.
+    SectorId,
+    "Creates a sector id from its raw index.",
+    "Returns the raw index of this sector."
+);
+
+addr_newtype!(
+    /// The index of an OS page (4 KB) within a virtual or physical space.
+    PageId,
+    "Creates a page id from its raw index.",
+    "Returns the raw index of this page."
+);
+
+addr_newtype!(
+    /// A sector-granular slot inside **near memory** (the 3D-stacked DRAM).
+    /// Because of the XTA's indirection, any sector of the physical space may
+    /// live in any `NmLoc`.
+    NmLoc,
+    "Creates a near-memory location from its raw sector-slot index.",
+    "Returns the raw sector-slot index of this near-memory location."
+);
+
+addr_newtype!(
+    /// A sector-granular slot inside **far memory** (the off-chip DDR4).
+    FmLoc,
+    "Creates a far-memory location from its raw sector-slot index.",
+    "Returns the raw sector-slot index of this far-memory location."
+);
+
+impl PAddr {
+    /// Returns the physical address `bytes` after `self`.
+    #[inline]
+    #[must_use]
+    pub const fn offset(self, bytes: u64) -> Self {
+        Self(self.0 + bytes)
+    }
+}
+
+impl SectorId {
+    /// Returns the raw index as `usize` for table indexing.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the index does not fit a `usize`
+    /// (impossible on 64-bit targets).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl NmLoc {
+    /// Returns the raw slot index as `usize` for table indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl FmLoc {
+    /// Returns the raw slot index as `usize` for table indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl PageId {
+    /// Returns the raw page index as `usize` for table indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn newtypes_round_trip_raw_values() {
+        assert_eq!(PAddr::new(42).raw(), 42);
+        assert_eq!(VAddr::new(7).raw(), 7);
+        assert_eq!(SectorId::new(3).raw(), 3);
+        assert_eq!(NmLoc::new(9).raw(), 9);
+        assert_eq!(FmLoc::new(11).raw(), 11);
+        assert_eq!(PageId::new(5).raw(), 5);
+    }
+
+    #[test]
+    fn debug_formats_are_nonempty_and_distinct() {
+        let d = format!("{:?}", PAddr::new(0x10));
+        assert!(d.contains("PAddr"));
+        assert!(d.contains("0x10"));
+        let d = format!("{:?}", NmLoc::new(0x10));
+        assert!(d.contains("NmLoc"));
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(PAddr::new(255).to_string(), "0xff");
+        assert_eq!(format!("{:x}", FmLoc::new(255)), "ff");
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(PAddr::new(1) < PAddr::new(2));
+        assert!(NmLoc::new(10) > NmLoc::new(9));
+    }
+
+    #[test]
+    fn paddr_offset_adds_bytes() {
+        assert_eq!(PAddr::new(0x1000).offset(0x40), PAddr::new(0x1040));
+    }
+
+    #[test]
+    fn u64_conversion_matches_raw() {
+        let a = SectorId::new(77);
+        let raw: u64 = a.into();
+        assert_eq!(raw, 77);
+    }
+
+    #[test]
+    fn index_accessors_return_usize() {
+        assert_eq!(SectorId::new(4).index(), 4usize);
+        assert_eq!(NmLoc::new(4).index(), 4usize);
+        assert_eq!(FmLoc::new(4).index(), 4usize);
+        assert_eq!(PageId::new(4).index(), 4usize);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(PAddr::default().raw(), 0);
+        assert_eq!(FmLoc::default().raw(), 0);
+    }
+}

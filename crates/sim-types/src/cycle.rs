@@ -1,0 +1,234 @@
+//! Time-keeping in CPU clock cycles.
+//!
+//! The whole simulator is clocked in cycles of the 3.2 GHz cores (Table 1 of
+//! the paper). DRAM devices run on their own clocks; [`ClockRatio`] converts
+//! device-cycle counts to CPU cycles with integer arithmetic so simulations
+//! stay deterministic across platforms.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, measured in CPU clock cycles since boot.
+///
+/// `Cycle` is ordered and supports adding a `u64` duration; subtracting two
+/// `Cycle`s yields the `u64` duration between them (saturating at zero via
+/// [`Cycle::saturating_since`] when the order is unknown).
+///
+/// ```
+/// use sim_types::Cycle;
+/// let a = Cycle::ZERO + 100;
+/// let b = a + 20;
+/// assert_eq!(b - a, 20);
+/// assert_eq!(a.max(b), b);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycle(u64);
+
+impl Cycle {
+    /// The beginning of simulated time.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// Creates a cycle timestamp from a raw cycle count.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Cycle(raw)
+    }
+
+    /// Returns the raw cycle count.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns `self - earlier`, or 0 if `earlier` is actually later.
+    #[inline]
+    #[must_use]
+    pub const fn saturating_since(self, earlier: Cycle) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+
+    /// Converts this timestamp to seconds given a core frequency in Hz.
+    ///
+    /// Only used for reporting (e.g. translating the paper's 50 µs migration
+    /// intervals); simulation logic never touches floating point time.
+    #[inline]
+    pub fn as_secs_f64(self, freq_hz: u64) -> f64 {
+        self.0 as f64 / freq_hz as f64
+    }
+}
+
+impl Add<u64> for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn add(self, rhs: u64) -> Cycle {
+        Cycle(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Cycle {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Cycle> for Cycle {
+    type Output = u64;
+    /// Duration between two timestamps.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`; use
+    /// [`Cycle::saturating_since`] when ordering is not guaranteed.
+    #[inline]
+    fn sub(self, rhs: Cycle) -> u64 {
+        debug_assert!(self.0 >= rhs.0, "negative cycle duration");
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Debug for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Cycle({})", self.0)
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Integer conversion factor from a device clock to the CPU clock.
+///
+/// The CPU runs at 3.2 GHz; HBM2 at 2 GHz (ratio 8/5) and the DDR4-3200 I/O
+/// clock at 1.6 GHz (ratio 2/1). Converting `n` device cycles to CPU cycles
+/// rounds **up**, which is the conservative choice for latency modelling.
+///
+/// ```
+/// use sim_types::ClockRatio;
+/// let hbm = ClockRatio::new(8, 5); // 3.2 GHz / 2.0 GHz
+/// assert_eq!(hbm.to_cpu(5), 8);
+/// assert_eq!(hbm.to_cpu(7), 12); // ceil(7 * 8 / 5)
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct ClockRatio {
+    num: u64,
+    den: u64,
+}
+
+impl ClockRatio {
+    /// Creates a ratio `num/den` = CPU frequency / device frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either term is zero.
+    pub const fn new(num: u64, den: u64) -> Self {
+        assert!(num > 0 && den > 0, "clock ratio terms must be non-zero");
+        ClockRatio { num, den }
+    }
+
+    /// A 1:1 ratio (device clocked at CPU speed).
+    pub const UNIT: ClockRatio = ClockRatio { num: 1, den: 1 };
+
+    /// Converts a device-cycle count to CPU cycles, rounding up.
+    #[inline]
+    pub const fn to_cpu(self, device_cycles: u64) -> u64 {
+        (device_cycles * self.num).div_ceil(self.den)
+    }
+
+    /// The numerator (CPU-side) of the ratio.
+    #[inline]
+    pub const fn num(self) -> u64 {
+        self.num
+    }
+
+    /// The denominator (device-side) of the ratio.
+    #[inline]
+    pub const fn den(self) -> u64 {
+        self.den
+    }
+}
+
+impl Default for ClockRatio {
+    fn default() -> Self {
+        Self::UNIT
+    }
+}
+
+impl fmt::Display for ClockRatio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.num, self.den)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_sub_are_inverse() {
+        let a = Cycle::new(1000);
+        assert_eq!((a + 25) - a, 25);
+    }
+
+    #[test]
+    fn saturating_since_clamps_at_zero() {
+        let a = Cycle::new(10);
+        let b = Cycle::new(20);
+        assert_eq!(b.saturating_since(a), 10);
+        assert_eq!(a.saturating_since(b), 0);
+    }
+
+    #[test]
+    fn add_assign_advances() {
+        let mut t = Cycle::ZERO;
+        t += 5;
+        t += 7;
+        assert_eq!(t.raw(), 12);
+    }
+
+    #[test]
+    fn ordering_is_chronological() {
+        assert!(Cycle::new(3) < Cycle::new(4));
+        assert_eq!(Cycle::new(3).max(Cycle::new(4)), Cycle::new(4));
+    }
+
+    #[test]
+    fn ratio_converts_exact_multiples() {
+        let r = ClockRatio::new(2, 1); // DDR4-3200 I/O clock vs 3.2 GHz CPU
+        assert_eq!(r.to_cpu(22), 44); // tCAS=22 device cycles
+    }
+
+    #[test]
+    fn ratio_rounds_up() {
+        let r = ClockRatio::new(8, 5); // HBM2 2 GHz vs 3.2 GHz CPU
+        assert_eq!(r.to_cpu(7), 12); // 11.2 -> 12
+        assert_eq!(r.to_cpu(0), 0);
+    }
+
+    #[test]
+    fn unit_ratio_is_identity() {
+        assert_eq!(ClockRatio::UNIT.to_cpu(123), 123);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_ratio_panics() {
+        let _ = ClockRatio::new(0, 1);
+    }
+
+    #[test]
+    fn seconds_conversion_for_reporting() {
+        // 50 us at 3.2 GHz = 160_000 cycles.
+        let t = Cycle::new(160_000);
+        let s = t.as_secs_f64(3_200_000_000);
+        assert!((s - 50e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Cycle::new(7).to_string(), "7");
+        assert_eq!(ClockRatio::new(8, 5).to_string(), "8/5");
+    }
+}

@@ -1,0 +1,192 @@
+//! The request vocabulary spoken between CPU model, memory schemes and DRAM.
+
+use core::fmt;
+
+use crate::{Cycle, PAddr};
+
+/// Whether a memory operation reads or writes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AccessKind {
+    /// A demand load (or instruction fetch); its latency stalls the core.
+    Read,
+    /// A store or a cache writeback; buffered, does not stall the core.
+    Write,
+}
+
+impl AccessKind {
+    /// True for [`AccessKind::Write`].
+    #[inline]
+    pub const fn is_write(self) -> bool {
+        matches!(self, AccessKind::Write)
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AccessKind::Read => "read",
+            AccessKind::Write => "write",
+        })
+    }
+}
+
+/// Which physical memory device an access targets.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MemSide {
+    /// Near memory: the 3D-stacked HBM2.
+    Nm,
+    /// Far memory: the off-chip DDR4.
+    Fm,
+}
+
+impl fmt::Display for MemSide {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            MemSide::Nm => "NM",
+            MemSide::Fm => "FM",
+        })
+    }
+}
+
+/// Why a DRAM access happens; used to break traffic and energy down the way
+/// Figures 16/17 of the paper do.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum TrafficClass {
+    /// Processor demand data (the access the core is waiting on).
+    Demand,
+    /// A cache-fill companion access (e.g. writing a fetched line into NM).
+    Fill,
+    /// Dirty data written back on eviction.
+    Writeback,
+    /// Sector movement performed by a migration mechanism (swap traffic).
+    Migration,
+    /// Remap-table / inverted-remap / free-stack / tag metadata.
+    Metadata,
+}
+
+impl TrafficClass {
+    /// All classes, in reporting order.
+    pub const ALL: [TrafficClass; 5] = [
+        TrafficClass::Demand,
+        TrafficClass::Fill,
+        TrafficClass::Writeback,
+        TrafficClass::Migration,
+        TrafficClass::Metadata,
+    ];
+
+    /// Stable index for per-class accounting arrays.
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            TrafficClass::Demand => 0,
+            TrafficClass::Fill => 1,
+            TrafficClass::Writeback => 2,
+            TrafficClass::Migration => 3,
+            TrafficClass::Metadata => 4,
+        }
+    }
+
+    /// Short label used by the text reports.
+    pub const fn label(self) -> &'static str {
+        match self {
+            TrafficClass::Demand => "demand",
+            TrafficClass::Fill => "fill",
+            TrafficClass::Writeback => "writeback",
+            TrafficClass::Migration => "migration",
+            TrafficClass::Metadata => "metadata",
+        }
+    }
+}
+
+impl fmt::Display for TrafficClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One last-level-cache miss (or writeback) presented to a memory scheme.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemReq {
+    /// Processor physical address of the first byte of the missing line.
+    pub addr: PAddr,
+    /// Read (demand miss) or write (LLC writeback).
+    pub kind: AccessKind,
+    /// Line size in bytes as seen by the LLC (64 B in the paper's system).
+    pub bytes: u32,
+    /// Cycle at which the request reaches the memory controller.
+    pub at: Cycle,
+    /// Issuing core, for per-core statistics.
+    pub core: u8,
+}
+
+impl MemReq {
+    /// Convenience constructor for a demand read.
+    pub fn read(addr: PAddr, bytes: u32, at: Cycle) -> Self {
+        MemReq {
+            addr,
+            kind: AccessKind::Read,
+            bytes,
+            at,
+            core: 0,
+        }
+    }
+
+    /// Convenience constructor for a writeback.
+    pub fn write(addr: PAddr, bytes: u32, at: Cycle) -> Self {
+        MemReq {
+            addr,
+            kind: AccessKind::Write,
+            bytes,
+            at,
+            core: 0,
+        }
+    }
+
+    /// Returns the same request attributed to `core`.
+    #[must_use]
+    pub fn on_core(mut self, core: u8) -> Self {
+        self.core = core;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traffic_class_indices_are_dense_and_unique() {
+        let mut seen = [false; TrafficClass::ALL.len()];
+        for c in TrafficClass::ALL {
+            assert!(!seen[c.index()], "duplicate index for {c}");
+            seen[c.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: Vec<_> = TrafficClass::ALL.iter().map(|c| c.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
+    }
+
+    #[test]
+    fn request_constructors_set_kind() {
+        let r = MemReq::read(PAddr::new(64), 64, Cycle::ZERO);
+        assert_eq!(r.kind, AccessKind::Read);
+        assert!(!r.kind.is_write());
+        let w = MemReq::write(PAddr::new(64), 64, Cycle::ZERO).on_core(3);
+        assert!(w.kind.is_write());
+        assert_eq!(w.core, 3);
+    }
+
+    #[test]
+    fn displays_are_stable() {
+        assert_eq!(AccessKind::Read.to_string(), "read");
+        assert_eq!(MemSide::Nm.to_string(), "NM");
+        assert_eq!(TrafficClass::Migration.to_string(), "migration");
+    }
+}

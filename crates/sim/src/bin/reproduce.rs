@@ -1,0 +1,102 @@
+//! Command-line entry point for reproducing the paper's evaluation.
+//!
+//! ```text
+//! cargo run -p sim --release --bin reproduce -- --exp fig12 [options]
+//!
+//! options:
+//!   --exp <id>        experiment id (fig01..fig18, table2, abl-budget,
+//!                     abl-stack, evalsuite, all)          [default: evalsuite]
+//!   --scale <den>     capacity divisor vs the paper's system [default: 64]
+//!   --instrs <n>      instructions per core per run       [default: 300000]
+//!   --smoke           run the 3-benchmark smoke set instead of all 30
+//!   --seed <n>        RNG seed                            [default: 2020]
+//!   --threads <n>     worker threads                      [default: #cpus]
+//!   --list            list experiment ids and exit
+//! ```
+
+use sim::experiments::{run_by_id, ALL_EXPERIMENTS};
+use sim::EvalConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut exp = "evalsuite".to_owned();
+    let mut cfg = EvalConfig::default_eval();
+    let mut smoke = false;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--exp" => {
+                exp = args.get(i + 1).expect("--exp needs a value").clone();
+                i += 2;
+            }
+            "--scale" => {
+                cfg.scale_den = args
+                    .get(i + 1)
+                    .expect("--scale needs a value")
+                    .parse()
+                    .expect("--scale must be an integer");
+                i += 2;
+            }
+            "--instrs" => {
+                cfg.instrs_per_core = args
+                    .get(i + 1)
+                    .expect("--instrs needs a value")
+                    .parse()
+                    .expect("--instrs must be an integer");
+                i += 2;
+            }
+            "--seed" => {
+                cfg.seed = args
+                    .get(i + 1)
+                    .expect("--seed needs a value")
+                    .parse()
+                    .expect("--seed must be an integer");
+                i += 2;
+            }
+            "--threads" => {
+                cfg.threads = args
+                    .get(i + 1)
+                    .expect("--threads needs a value")
+                    .parse()
+                    .expect("--threads must be an integer");
+                i += 2;
+            }
+            "--smoke" => {
+                smoke = true;
+                i += 1;
+            }
+            "--list" => {
+                for id in ALL_EXPERIMENTS {
+                    println!("{id}");
+                }
+                return;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}; see the module docs for usage");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if !ALL_EXPERIMENTS.contains(&exp.as_str()) {
+        eprintln!("unknown experiment {exp:?}; known ids:");
+        for id in ALL_EXPERIMENTS {
+            eprintln!("  {id}");
+        }
+        std::process::exit(2);
+    }
+
+    eprintln!(
+        "running {exp} at 1/{} scale, {} instrs/core, {} workloads, {} threads",
+        cfg.scale_den,
+        cfg.instrs_per_core,
+        if smoke { 3 } else { 30 },
+        cfg.threads
+    );
+    let started = std::time::Instant::now();
+    for report in run_by_id(&exp, &cfg, smoke) {
+        println!("{}", report.render());
+    }
+    eprintln!("done in {:.1}s", started.elapsed().as_secs_f64());
+}

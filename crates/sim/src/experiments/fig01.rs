@@ -1,0 +1,69 @@
+//! Figure 1 — fetched-but-unused data vs DRAM-cache line size.
+//!
+//! Paper series (1 GB cache, average over all benchmarks):
+//! 64 B → 0%, 128 B → 6%, 256 B → 10%, 512 B → 15%, 1 KB → 19%,
+//! 2 KB → 22%, 4 KB → 26%.
+
+use sim_types::stats::mean;
+
+use crate::report::{f2, Report};
+use crate::runner::{run_one, EvalConfig, SchemeKind};
+use crate::NmRatio;
+
+use super::workload_set;
+
+/// Line sizes swept by the figure.
+pub const LINE_SIZES: [u64; 7] = [64, 128, 256, 512, 1024, 2048, 4096];
+
+/// Runs the sweep and reports the average wasted-data percentage per line
+/// size.
+pub fn fig01_wasted_data(cfg: &EvalConfig, smoke: bool) -> Vec<Report> {
+    let specs = workload_set(smoke);
+    let mut report = Report::new(
+        "Figure 1 — % of fetched DRAM-cache data never used, by line size (IDEAL cache, 1 GB NM)",
+        vec!["line size (B)", "wasted data (avg %)", "paper (%)"],
+    );
+    let paper = [0.0, 6.0, 10.0, 15.0, 19.0, 22.0, 26.0];
+    for (i, &line) in LINE_SIZES.iter().enumerate() {
+        let wasted: Vec<f64> = specs
+            .iter()
+            .map(|spec| {
+                let r = run_one(SchemeKind::IdealLine(line), spec, NmRatio::OneGb, cfg);
+                if r.stats.fetched_bytes == 0 {
+                    0.0
+                } else {
+                    100.0 * (r.stats.fetched_bytes.saturating_sub(r.stats.used_bytes)) as f64
+                        / r.stats.fetched_bytes as f64
+                }
+            })
+            .collect();
+        let avg = mean(wasted).unwrap_or(0.0);
+        report.push_row(vec![line.to_string(), f2(avg), f2(paper[i])]);
+    }
+    report.push_note("shape check: waste must grow monotonically with line size");
+    vec![report]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waste_grows_with_line_size() {
+        let cfg = EvalConfig {
+            scale_den: 256,
+            instrs_per_core: 12_000,
+            seed: 11,
+            threads: 2,
+        };
+        let reports = fig01_wasted_data(&cfg, true);
+        let rows = &reports[0].rows;
+        assert_eq!(rows.len(), LINE_SIZES.len());
+        let first: f64 = rows.first().unwrap()[1].parse().unwrap();
+        let last: f64 = rows.last().unwrap()[1].parse().unwrap();
+        assert!(
+            last > first,
+            "4 KB lines must waste more than 64 B lines ({first} vs {last})"
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! Figure 12 — geomean speedup by MPKI class at NM = 1, 2 and 4 GB.
+//!
+//! Paper "All" geomeans (1 GB): MPOD 1.318, CHA 1.371, LGM 1.429,
+//! TAGLESS 1.417, DFC 1.547, HYBRID2 1.542 — Hybrid2 beats every migration
+//! scheme and sits within a hair of the best cache.
+
+use crate::report::{f3, Report};
+use crate::{Matrix, NmRatio};
+
+use super::main_matrix;
+use crate::runner::EvalConfig;
+
+/// Runs the three-ratio comparison (Figures 12a/b/c).
+pub fn fig12_speedup_by_ratio(cfg: &EvalConfig, smoke: bool) -> Vec<Report> {
+    let mut reports = Vec::new();
+    for (i, ratio) in NmRatio::ALL.iter().enumerate() {
+        let m = main_matrix(*ratio, cfg, smoke);
+        reports.push(render(&m, i));
+    }
+    reports
+}
+
+fn render(m: &Matrix, sub: usize) -> Report {
+    let letter = ["a", "b", "c"][sub];
+    let mut report = Report::new(
+        format!(
+            "Figure 12{letter} — geomean speedup over baseline, NM = {}",
+            m.ratio.label()
+        ),
+        vec!["scheme", "High", "Medium", "Low", "All"],
+    );
+    for s in m.class_summaries(Matrix::speedup) {
+        report.push_row(vec![s.label, f3(s.high), f3(s.medium), f3(s.low), f3(s.all)]);
+    }
+    report.push_note(format!(
+        "migration schemes offer {:.1}% more main memory than caches at this ratio",
+        m.ratio.capacity_gain_pct()
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SchemeKind;
+    use workloads::catalog;
+
+    /// The headline directional result at smoke scale: Hybrid2 beats the
+    /// migration schemes on the high-MPKI streaming workload.
+    #[test]
+    fn hybrid2_beats_migration_on_high_mpki() {
+        let cfg = EvalConfig {
+            scale_den: 256,
+            instrs_per_core: 20_000,
+            seed: 17,
+            threads: 4,
+        };
+        let specs = [catalog::by_name("lbm").unwrap()];
+        let m = Matrix::run(
+            &[SchemeKind::MemPod, SchemeKind::Lgm, SchemeKind::Hybrid2],
+            &specs,
+            NmRatio::OneGb,
+            &cfg,
+        );
+        let h2 = m.scheme_index("HYBRID2").unwrap();
+        let mpod = m.scheme_index("MPOD").unwrap();
+        let lgm = m.scheme_index("LGM").unwrap();
+        assert!(
+            m.speedup(h2, 0) > m.speedup(mpod, 0),
+            "HYBRID2 {:.2} vs MPOD {:.2}",
+            m.speedup(h2, 0),
+            m.speedup(mpod, 0)
+        );
+        assert!(
+            m.speedup(h2, 0) > m.speedup(lgm, 0) * 0.95,
+            "HYBRID2 {:.2} vs LGM {:.2}",
+            m.speedup(h2, 0),
+            m.speedup(lgm, 0)
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! Figure 14 — Hybrid2 performance-factor breakdown.
+//!
+//! Paper geomeans (1 GB NM): Cache-Only 1.43, Migr-All 1.41,
+//! Migr-None 1.39, No-Remap 1.58, HYBRID2 1.54 — the selective migration
+//! policy beats both extremes, and the metadata machinery costs only ~2.5%
+//! versus free remapping.
+
+use hybrid2_core::Variant;
+
+use crate::report::{f3, Report};
+use crate::{Matrix, NmRatio, SchemeKind};
+
+use super::workload_set;
+use crate::runner::EvalConfig;
+
+/// Runs the ablation at 1 GB NM.
+pub fn fig14_breakdown(cfg: &EvalConfig, smoke: bool) -> Vec<Report> {
+    let kinds: Vec<SchemeKind> = Variant::ALL
+        .iter()
+        .map(|&v| SchemeKind::Hybrid2Variant(v))
+        .collect();
+    let specs = workload_set(smoke);
+    let m = Matrix::run(&kinds, &specs, NmRatio::OneGb, cfg);
+
+    let mut report = Report::new(
+        "Figure 14 — Hybrid2 performance factors (geomean speedup, 1 GB NM)",
+        vec!["variant", "geomean speedup"],
+    );
+    for s in 0..m.schemes.len() {
+        report.push_row(vec![
+            m.schemes[s].label.clone(),
+            f3(m.class_geomean(s, None, Matrix::speedup)),
+        ]);
+    }
+    report.push_note("paper: Cache-Only 1.43, Migr-All 1.41, Migr-None 1.39, No-Remap 1.58, HYBRID2 1.54");
+    vec![report]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::catalog;
+
+    #[test]
+    fn full_policy_between_none_and_noremap() {
+        let cfg = EvalConfig {
+            scale_den: 256,
+            instrs_per_core: 25_000,
+            seed: 29,
+            threads: 4,
+        };
+        // A capacity-pressured streaming workload where migration matters.
+        let specs = [catalog::by_name("lbm").unwrap()];
+        let kinds: Vec<SchemeKind> = Variant::ALL
+            .iter()
+            .map(|&v| SchemeKind::Hybrid2Variant(v))
+            .collect();
+        let m = Matrix::run(&kinds, &specs, NmRatio::OneGb, &cfg);
+        let sp = |label: &str| {
+            let i = m.scheme_index(label).unwrap();
+            m.speedup(i, 0)
+        };
+        // No-Remap is Full minus metadata costs: it can only be faster.
+        assert!(
+            sp("No-Remap") >= sp("HYBRID2") * 0.999,
+            "No-Remap {:.3} must not trail HYBRID2 {:.3}",
+            sp("No-Remap"),
+            sp("HYBRID2")
+        );
+        // All variants produce sane, positive speedups.
+        for v in hybrid2_core::Variant::ALL {
+            assert!(sp(v.label()) > 0.5, "{} broke", v.label());
+        }
+    }
+}

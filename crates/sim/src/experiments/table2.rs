@@ -1,0 +1,88 @@
+//! Table 2 — benchmark characterization (measured vs paper).
+//!
+//! Runs every workload on the no-NM baseline system and reports the
+//! measured MPKI, footprint and traffic next to the paper's published
+//! numbers. Footprint and traffic are extrapolated back to paper scale
+//! (× `scale_den`, and traffic normalized to the paper's 8 × 1 B simulated
+//! instructions) so magnitudes are comparable.
+
+use crate::report::{f2, Report};
+use crate::runner::{run_one, EvalConfig, SchemeKind};
+use crate::NmRatio;
+use workloads::MpkiClass;
+
+use super::workload_set;
+
+/// Runs the characterization.
+pub fn table2_characterization(cfg: &EvalConfig, smoke: bool) -> Vec<Report> {
+    let specs = workload_set(smoke);
+    let mut report = Report::new(
+        "Table 2 — benchmark characteristics (measured at scale vs paper)",
+        vec![
+            "benchmark",
+            "kind",
+            "class",
+            "MPKI paper",
+            "MPKI measured",
+            "class measured",
+            "footprint paper (GB)",
+            "footprint extrap (GB)",
+            "traffic paper (GB)",
+            "traffic extrap (GB)",
+        ],
+    );
+    for spec in specs {
+        let r = run_one(SchemeKind::Baseline, spec, NmRatio::OneGb, cfg);
+        let gb = |b: f64| b / (1u64 << 30) as f64;
+        let footprint_extrap = gb(r.footprint as f64 * cfg.scale_den as f64);
+        // Paper traffic covers 8 cores x 1e9 instructions; extrapolate from
+        // what we simulated, and undo the footprint scaling's effect on
+        // line-granular traffic by scale alone (traffic is instruction-
+        // proportional, not capacity-proportional).
+        let traffic_measured = (r.fm_traffic + r.nm_traffic) as f64;
+        let traffic_extrap = gb(traffic_measured * 8.0e9 / r.instructions as f64);
+        report.push_row(vec![
+            spec.name.to_owned(),
+            spec.kind.to_string(),
+            spec.class.to_string(),
+            f2(spec.paper.mpki),
+            f2(r.mpki),
+            MpkiClass::of_mpki(r.mpki).to_string(),
+            f2(spec.paper.footprint_gb),
+            f2(footprint_extrap),
+            f2(spec.paper.traffic_gb),
+            f2(traffic_extrap),
+        ]);
+    }
+    report.push_note("measured MPKI should land in the paper's class for most workloads");
+    vec![report]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_set_lands_in_expected_classes() {
+        let cfg = EvalConfig {
+            scale_den: 256,
+            instrs_per_core: 40_000,
+            seed: 37,
+            threads: 2,
+        };
+        let reports = table2_characterization(&cfg, true);
+        let rows = &reports[0].rows;
+        assert_eq!(rows.len(), 3);
+        // lbm (High) must measure much more intense than xalanc (Low).
+        let mpki = |name: &str| -> f64 {
+            rows.iter().find(|r| r[0] == name).unwrap()[4].parse().unwrap()
+        };
+        assert!(
+            mpki("lbm") > 5.0 * mpki("xalanc").max(0.01),
+            "lbm {} vs xalanc {}",
+            mpki("lbm"),
+            mpki("xalanc")
+        );
+        assert!(mpki("lbm") > 15.0, "lbm must measure high-MPKI");
+    }
+}

@@ -1,0 +1,276 @@
+//! The full-system event loop.
+
+use cpu::{Core, CoreConfig};
+use dram::{DramSystem, MemoryScheme, SchemeStats};
+use mem_cache::Hierarchy;
+use sim_types::{Cycle, MemReq, MemSide, TraceSource, TrafficClass};
+use workloads::Workload;
+
+use crate::page_alloc::PageAllocator;
+
+/// Everything measured by one simulation run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Scheme name as used in the paper's figures.
+    pub scheme: &'static str,
+    /// Workload name.
+    pub workload: &'static str,
+    /// Total simulated cycles (slowest core, after drain).
+    pub cycles: u64,
+    /// Instructions retired across all cores.
+    pub instructions: u64,
+    /// Measured LLC misses per kilo-instruction.
+    pub mpki: f64,
+    /// Fraction of processor memory requests served from NM, in [0, 1].
+    pub nm_served: f64,
+    /// Bytes moved on the FM interface (all traffic classes).
+    pub fm_traffic: u64,
+    /// Bytes moved on the NM interface (all traffic classes).
+    pub nm_traffic: u64,
+    /// Dynamic memory energy in millijoules.
+    pub energy_mj: f64,
+    /// Measured footprint in bytes (distinct pages touched).
+    pub footprint: u64,
+    /// The scheme's own counters.
+    pub stats: SchemeStats,
+}
+
+impl RunResult {
+    /// Instructions per cycle across the whole machine.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// A complete simulated system: 8 interval cores + cache hierarchy +
+/// memory scheme + DRAM devices + page allocator + workload.
+pub struct Machine {
+    cores: Vec<Core>,
+    hierarchy: Hierarchy,
+    scheme: Box<dyn MemoryScheme>,
+    dram: DramSystem,
+    pages: PageAllocator,
+    workload: Workload,
+    next_tick: u64,
+    os_hints: bool,
+}
+
+impl Machine {
+    /// Assembles a machine. The page allocator must cover the scheme's
+    /// flat capacity (callers build it from
+    /// [`MemoryScheme::flat_capacity_bytes`]).
+    pub fn new(
+        cores: usize,
+        hierarchy: Hierarchy,
+        scheme: Box<dyn MemoryScheme>,
+        dram: DramSystem,
+        workload: Workload,
+        seed: u64,
+    ) -> Self {
+        let pages = PageAllocator::new(scheme.flat_capacity_bytes(), seed ^ 0x9E37);
+        let tick = scheme.tick_period().unwrap_or(u64::MAX);
+        Machine {
+            cores: (0..cores)
+                .map(|i| Core::new(i as u8, CoreConfig::paper_default()))
+                .collect(),
+            hierarchy,
+            scheme,
+            dram,
+            pages,
+            workload,
+            next_tick: tick,
+            os_hints: false,
+        }
+    }
+
+    /// Enables §3.8-style OS free-space hints: the whole flat space starts
+    /// hinted *unused*, and each first-touched page is hinted *used* as the
+    /// allocator hands it out (the information ISA-Alloc/ISA-Free would
+    /// carry in Chameleon's design).
+    #[must_use]
+    pub fn with_os_hints(mut self) -> Self {
+        self.os_hints = true;
+        let cap = self.scheme.flat_capacity_bytes();
+        self.scheme.os_hint_unused(sim_types::PAddr::new(0), cap);
+        self
+    }
+
+    /// Runs until every core has retired `instrs_per_core` instructions,
+    /// then drains outstanding misses and reports.
+    pub fn run(&mut self, instrs_per_core: u64) -> RunResult {
+        let n = self.cores.len();
+        loop {
+            // Pick the earliest unfinished core (deterministic tie-break by
+            // index) — this keeps DRAM arrival order causal.
+            let mut best: Option<usize> = None;
+            for i in 0..n {
+                if self.cores[i].retired() >= instrs_per_core {
+                    continue;
+                }
+                match best {
+                    None => best = Some(i),
+                    Some(b) if self.cores[i].now() < self.cores[b].now() => best = Some(i),
+                    _ => {}
+                }
+            }
+            let Some(i) = best else { break };
+
+            // Interval housekeeping (migration schemes).
+            let now = self.cores[i].now().raw();
+            while now >= self.next_tick {
+                let t = Cycle::new(self.next_tick);
+                self.scheme.on_tick(t, &mut self.dram);
+                self.next_tick += self.scheme.tick_period().unwrap_or(u64::MAX);
+            }
+
+            let Some(op) = self.workload.source_mut(i).next_op() else {
+                // Trace exhausted (generators are unbounded, but a VecTrace
+                // in tests may end): finish this core.
+                let remaining = instrs_per_core - self.cores[i].retired();
+                self.cores[i].advance_instructions(remaining);
+                continue;
+            };
+            self.cores[i].advance_instructions(op.instructions());
+
+            // MP workloads isolate address spaces per core; MT share one.
+            let space = if self.workload.shared_address_space() {
+                0
+            } else {
+                i as u8
+            };
+            let (paddr, fresh_page) = self.pages.translate_tracking(space, op.addr);
+            if self.os_hints && fresh_page {
+                let page_base = sim_types::PAddr::new(paddr.raw() & !4095);
+                self.scheme.os_hint_used(page_base, 4096);
+            }
+            let out = self.hierarchy.access(i, paddr, op.kind);
+
+            if let Some(wb) = out.writeback {
+                // Dirty LLC victim: buffered write to memory.
+                let req = MemReq::write(wb, 64, self.cores[i].now()).on_core(i as u8);
+                self.scheme.access(&req, &mut self.dram);
+            }
+            if let Some(miss) = out.llc_miss {
+                let at = self.cores[i].now() + out.latency;
+                let req = MemReq {
+                    addr: miss,
+                    kind: op.kind,
+                    bytes: 64,
+                    at,
+                    core: i as u8,
+                };
+                let served = self.scheme.access(&req, &mut self.dram);
+                if op.kind.is_write() {
+                    self.cores[i].note_store();
+                } else {
+                    self.cores[i].issue_llc_miss_load(served.done);
+                }
+            }
+        }
+        for c in &mut self.cores {
+            c.drain();
+        }
+        self.scheme.on_finish();
+        self.result()
+    }
+
+    fn result(&self) -> RunResult {
+        let cycles = self
+            .cores
+            .iter()
+            .map(|c| c.now().raw())
+            .max()
+            .unwrap_or(0);
+        let instructions: u64 = self.cores.iter().map(|c| c.retired()).sum();
+        let hstats = self.hierarchy.stats();
+        RunResult {
+            scheme: self.scheme.name(),
+            workload: self.workload.spec().name,
+            cycles,
+            instructions,
+            mpki: hstats.mpki(instructions),
+            nm_served: self.scheme.stats().nm_served_fraction(),
+            fm_traffic: self.dram.traffic_bytes(MemSide::Fm),
+            nm_traffic: self.dram.traffic_bytes(MemSide::Nm),
+            energy_mj: self.dram.total_energy().total_mj(),
+            footprint: self.pages.footprint_bytes(),
+            stats: self.scheme.stats().clone(),
+        }
+    }
+
+    /// NM traffic attributable to metadata, for the §5.2.1 claim (4.1% of
+    /// NM traffic).
+    pub fn nm_metadata_fraction(&self) -> f64 {
+        let total = self.dram.traffic_bytes(MemSide::Nm);
+        if total == 0 {
+            return 0.0;
+        }
+        let meta = self
+            .dram
+            .device(MemSide::Nm)
+            .stats()
+            .bytes(TrafficClass::Metadata);
+        meta as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baselines::FmOnly;
+    use mem_cache::HierarchyConfig;
+    use workloads::catalog;
+
+    fn machine(seed: u64) -> Machine {
+        let spec = catalog::by_name("lbm").unwrap();
+        let wl = Workload::build(spec, 2, 1024, seed);
+        Machine::new(
+            2,
+            Hierarchy::new(HierarchyConfig::scaled(2, 1, 64)),
+            Box::new(FmOnly::new(1 << 28)),
+            DramSystem::paper_default(),
+            wl,
+            seed,
+        )
+    }
+
+    #[test]
+    fn runs_to_instruction_target() {
+        let mut m = machine(1);
+        let r = m.run(20_000);
+        assert!(r.instructions >= 40_000);
+        assert!(r.cycles > 0);
+        assert!(r.ipc() > 0.0 && r.ipc() <= 8.0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let r1 = machine(7).run(10_000);
+        let r2 = machine(7).run(10_000);
+        assert_eq!(r1.cycles, r2.cycles);
+        assert_eq!(r1.fm_traffic, r2.fm_traffic);
+        assert_eq!(r1.instructions, r2.instructions);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let r1 = machine(1).run(10_000);
+        let r2 = machine(2).run(10_000);
+        assert_ne!(r1.cycles, r2.cycles);
+    }
+
+    #[test]
+    fn streaming_workload_reaches_memory() {
+        let mut m = machine(3);
+        let r = m.run(20_000);
+        assert!(r.mpki > 1.0, "lbm is a high-MPKI stream, got {}", r.mpki);
+        assert!(r.fm_traffic > 0);
+        assert_eq!(r.nm_traffic, 0, "FM-only system never touches NM");
+        assert!(r.energy_mj > 0.0);
+        assert!(r.footprint > 0);
+    }
+}

@@ -1,0 +1,231 @@
+//! The scheme × workload evaluation grid, run in parallel.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use sim_types::stats::geomean;
+use workloads::{MpkiClass, WorkloadSpec};
+
+use crate::machine::RunResult;
+use crate::runner::{run_one, scheme_label, EvalConfig, SchemeKind};
+use crate::scale::NmRatio;
+
+/// Results of one scheme across all workloads of a matrix.
+#[derive(Clone, Debug)]
+pub struct SchemeRow {
+    /// The scheme simulated.
+    pub kind: SchemeKind,
+    /// Legend label.
+    pub label: String,
+    /// One result per workload, in workload order.
+    pub runs: Vec<RunResult>,
+}
+
+/// Per-MPKI-class geometric means for one scheme (the shape of Figures
+/// 12/15/16/17/18).
+#[derive(Clone, Debug)]
+pub struct ClassSummary {
+    /// Legend label.
+    pub label: String,
+    /// Geomean over the high-MPKI group.
+    pub high: f64,
+    /// Geomean over the medium-MPKI group.
+    pub medium: f64,
+    /// Geomean over the low-MPKI group.
+    pub low: f64,
+    /// Geomean over all workloads.
+    pub all: f64,
+}
+
+/// The full evaluation grid for one NM:FM ratio: every scheme and the
+/// baseline over every workload, plus derived metrics.
+#[derive(Clone, Debug)]
+pub struct Matrix {
+    /// The NM:FM ratio simulated.
+    pub ratio: NmRatio,
+    /// Workloads, in catalog order.
+    pub workloads: Vec<&'static WorkloadSpec>,
+    /// Baseline (no-NM) results per workload.
+    pub baseline: Vec<RunResult>,
+    /// Per-scheme results.
+    pub schemes: Vec<SchemeRow>,
+}
+
+impl Matrix {
+    /// Runs the grid using `cfg.threads` worker threads. Deterministic:
+    /// every cell depends only on (scheme, workload, ratio, cfg).
+    pub fn run(
+        kinds: &[SchemeKind],
+        specs: &[&'static WorkloadSpec],
+        ratio: NmRatio,
+        cfg: &EvalConfig,
+    ) -> Matrix {
+        // Job list: baseline first, then each scheme.
+        let mut jobs: Vec<(usize, usize, SchemeKind)> = Vec::new();
+        for (w, _) in specs.iter().enumerate() {
+            jobs.push((0, w, SchemeKind::Baseline));
+        }
+        for (s, &kind) in kinds.iter().enumerate() {
+            for (w, _) in specs.iter().enumerate() {
+                jobs.push((s + 1, w, kind));
+            }
+        }
+        let results: Mutex<Vec<Option<RunResult>>> = Mutex::new(vec![None; jobs.len()]);
+        let next = AtomicUsize::new(0);
+        let workers = cfg.threads.max(1).min(jobs.len().max(1));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs.len() {
+                        break;
+                    }
+                    let (_, w, kind) = jobs[i];
+                    let r = run_one(kind, specs[w], ratio, cfg);
+                    results.lock().expect("no poisoned workers")[i] = Some(r);
+                });
+            }
+        });
+        let mut flat: Vec<RunResult> = results
+            .into_inner()
+            .expect("all workers joined")
+            .into_iter()
+            .map(|r| r.expect("every job ran"))
+            .collect();
+
+        let baseline: Vec<RunResult> = flat.drain(..specs.len()).collect();
+        let mut schemes = Vec::with_capacity(kinds.len());
+        for &kind in kinds {
+            let runs: Vec<RunResult> = flat.drain(..specs.len()).collect();
+            schemes.push(SchemeRow {
+                kind,
+                label: scheme_label(kind),
+                runs,
+            });
+        }
+        Matrix {
+            ratio,
+            workloads: specs.to_vec(),
+            baseline,
+            schemes,
+        }
+    }
+
+    /// Speedup of scheme `s` on workload `w` over the baseline.
+    pub fn speedup(&self, s: usize, w: usize) -> f64 {
+        self.baseline[w].cycles as f64 / self.schemes[s].runs[w].cycles.max(1) as f64
+    }
+
+    /// FM traffic normalized to the baseline's total traffic (Figure 16).
+    pub fn fm_traffic_norm(&self, s: usize, w: usize) -> f64 {
+        self.schemes[s].runs[w].fm_traffic as f64 / self.baseline[w].fm_traffic.max(1) as f64
+    }
+
+    /// NM traffic normalized to the baseline's total (FM) traffic
+    /// (Figure 17).
+    pub fn nm_traffic_norm(&self, s: usize, w: usize) -> f64 {
+        self.schemes[s].runs[w].nm_traffic as f64 / self.baseline[w].fm_traffic.max(1) as f64
+    }
+
+    /// Dynamic memory energy normalized to the baseline (Figure 18).
+    pub fn energy_norm(&self, s: usize, w: usize) -> f64 {
+        self.schemes[s].runs[w].energy_mj / self.baseline[w].energy_mj.max(1e-12)
+    }
+
+    /// Fraction of requests served from NM (Figure 15).
+    pub fn nm_served(&self, s: usize, w: usize) -> f64 {
+        self.schemes[s].runs[w].nm_served
+    }
+
+    /// Geomean of `metric(s, w)` over the workloads of `class`
+    /// (`None` = all 30).
+    pub fn class_geomean<F>(&self, s: usize, class: Option<MpkiClass>, metric: F) -> f64
+    where
+        F: Fn(&Matrix, usize, usize) -> f64,
+    {
+        let vals = self
+            .workloads
+            .iter()
+            .enumerate()
+            .filter(|(_, spec)| class.is_none_or(|c| spec.class == c))
+            .map(|(w, _)| metric(self, s, w).max(1e-9));
+        geomean(vals).unwrap_or(0.0)
+    }
+
+    /// The Figure-12-shaped summary (High/Medium/Low/All geomeans) of a
+    /// metric for every scheme.
+    pub fn class_summaries<F>(&self, metric: F) -> Vec<ClassSummary>
+    where
+        F: Fn(&Matrix, usize, usize) -> f64 + Copy,
+    {
+        (0..self.schemes.len())
+            .map(|s| ClassSummary {
+                label: self.schemes[s].label.clone(),
+                high: self.class_geomean(s, Some(MpkiClass::High), metric),
+                medium: self.class_geomean(s, Some(MpkiClass::Medium), metric),
+                low: self.class_geomean(s, Some(MpkiClass::Low), metric),
+                all: self.class_geomean(s, None, metric),
+            })
+            .collect()
+    }
+
+    /// Index of the scheme labelled `label`, if present.
+    pub fn scheme_index(&self, label: &str) -> Option<usize> {
+        self.schemes.iter().position(|s| s.label == label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::catalog;
+
+    #[test]
+    fn matrix_smoke_two_schemes_two_workloads() {
+        let cfg = EvalConfig {
+            scale_den: 256,
+            instrs_per_core: 15_000,
+            seed: 3,
+            threads: 4,
+        };
+        let specs = [
+            catalog::by_name("lbm").unwrap(),
+            catalog::by_name("xalanc").unwrap(),
+        ];
+        let m = Matrix::run(
+            &[SchemeKind::Hybrid2, SchemeKind::Tagless],
+            &specs,
+            NmRatio::OneGb,
+            &cfg,
+        );
+        assert_eq!(m.baseline.len(), 2);
+        assert_eq!(m.schemes.len(), 2);
+        for s in 0..2 {
+            for w in 0..2 {
+                let sp = m.speedup(s, w);
+                assert!(sp > 0.1 && sp < 20.0, "speedup {sp}");
+            }
+        }
+        // Streaming lbm should speed up clearly on the high-bandwidth NM.
+        let h2 = m.scheme_index("HYBRID2").unwrap();
+        assert!(m.speedup(h2, 0) > 1.0);
+        // Metrics are well-defined.
+        assert!(m.nm_served(h2, 0) > 0.0);
+        assert!(m.energy_norm(h2, 0) > 0.0);
+    }
+
+    #[test]
+    fn matrix_is_deterministic_despite_threads() {
+        let cfg = EvalConfig {
+            scale_den: 256,
+            instrs_per_core: 8_000,
+            seed: 5,
+            threads: 3,
+        };
+        let specs = [catalog::by_name("mcf").unwrap()];
+        let a = Matrix::run(&[SchemeKind::Lgm], &specs, NmRatio::OneGb, &cfg);
+        let b = Matrix::run(&[SchemeKind::Lgm], &specs, NmRatio::OneGb, &cfg);
+        assert_eq!(a.schemes[0].runs[0].cycles, b.schemes[0].runs[0].cycles);
+        assert_eq!(a.baseline[0].cycles, b.baseline[0].cycles);
+    }
+}

@@ -1,0 +1,183 @@
+//! Random, capacity-proportional page allocation (§4 of the paper).
+//!
+//! "Through all of our experiments the memory pages are allocated randomly
+//! in the HBM or DDR4 proportionally to their capacity." We realize this by
+//! allocating each first-touched virtual page a uniformly random free
+//! physical page of the scheme's flat space — since the flat space is the
+//! concatenation of NM-backed and FM-backed sectors, uniform sampling is
+//! exactly capacity-proportional placement. Multi-programmed workloads get
+//! one address space per core; multi-threaded workloads share space 0.
+
+use sim_types::rng::SplitMix64;
+use sim_types::{PAddr, VAddr};
+use std::collections::HashMap;
+
+const PAGE: u64 = 4096;
+
+/// Lazy random page table over a fixed physical capacity.
+#[derive(Clone, Debug)]
+pub struct PageAllocator {
+    map: HashMap<(u8, u64), u64>,
+    free: Vec<u64>,
+    rng: SplitMix64,
+    capacity_pages: u64,
+}
+
+impl PageAllocator {
+    /// Creates an allocator over `capacity_bytes` of physical memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity holds no full page.
+    pub fn new(capacity_bytes: u64, seed: u64) -> Self {
+        let capacity_pages = capacity_bytes / PAGE;
+        assert!(capacity_pages > 0, "capacity below one page");
+        PageAllocator {
+            map: HashMap::new(),
+            free: (0..capacity_pages).collect(),
+            rng: SplitMix64::new(seed),
+            capacity_pages,
+        }
+    }
+
+    /// Translates `(space, vaddr)` to a physical address, allocating a
+    /// random free page on first touch.
+    ///
+    /// # Panics
+    ///
+    /// Panics when physical memory is exhausted — the harness sizes
+    /// footprints to fit (the paper does not model page faults either).
+    pub fn translate(&mut self, space: u8, vaddr: VAddr) -> PAddr {
+        self.translate_tracking(space, vaddr).0
+    }
+
+    /// Like [`PageAllocator::translate`], also reporting whether this touch
+    /// allocated a fresh page (drives §3.8 OS allocation hints).
+    ///
+    /// # Panics
+    ///
+    /// Panics when physical memory is exhausted.
+    pub fn translate_tracking(&mut self, space: u8, vaddr: VAddr) -> (PAddr, bool) {
+        let vpage = vaddr.raw() / PAGE;
+        let offset = vaddr.raw() % PAGE;
+        let (ppage, fresh) = match self.map.get(&(space, vpage)) {
+            Some(&p) => (p, false),
+            None => {
+                assert!(
+                    !self.free.is_empty(),
+                    "physical memory exhausted: footprint exceeds the flat space \
+                     (the paper's workloads always fit; check scaling)"
+                );
+                let idx = self.rng.gen_range(self.free.len() as u64) as usize;
+                let p = self.free.swap_remove(idx);
+                self.map.insert((space, vpage), p);
+                (p, true)
+            }
+        };
+        (PAddr::new(ppage * PAGE + offset), fresh)
+    }
+
+    /// Pages allocated so far.
+    pub fn allocated_pages(&self) -> u64 {
+        self.map.len() as u64
+    }
+
+    /// Bytes of distinct memory touched (the measured footprint).
+    pub fn footprint_bytes(&self) -> u64 {
+        self.allocated_pages() * PAGE
+    }
+
+    /// Total physical pages managed.
+    pub fn capacity_pages(&self) -> u64 {
+        self.capacity_pages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn translation_is_stable() {
+        let mut a = PageAllocator::new(1 << 20, 1);
+        let p1 = a.translate(0, VAddr::new(0x1234));
+        let p2 = a.translate(0, VAddr::new(0x1234));
+        assert_eq!(p1, p2);
+        assert_eq!(p1.raw() % PAGE, 0x234);
+    }
+
+    #[test]
+    fn same_page_same_frame_different_offset() {
+        let mut a = PageAllocator::new(1 << 20, 1);
+        let p1 = a.translate(0, VAddr::new(0x1000));
+        let p2 = a.translate(0, VAddr::new(0x1fff));
+        assert_eq!(p1.raw() / PAGE, p2.raw() / PAGE);
+    }
+
+    #[test]
+    fn spaces_are_isolated() {
+        let mut a = PageAllocator::new(1 << 20, 1);
+        let p0 = a.translate(0, VAddr::new(0));
+        let p1 = a.translate(1, VAddr::new(0));
+        assert_ne!(p0.raw() / PAGE, p1.raw() / PAGE);
+        assert_eq!(a.allocated_pages(), 2);
+    }
+
+    #[test]
+    fn placement_is_roughly_uniform() {
+        // With NM-backed pages being the first 1/17 of the flat space,
+        // uniform placement puts ~1/17 of pages there.
+        let mut a = PageAllocator::new(17 << 20, 7);
+        for v in 0..1000u64 {
+            a.translate(0, VAddr::new(v * PAGE));
+        }
+        let nm_limit = (1u64 << 20) / PAGE; // first 1/17 of frames
+        let in_nm = a
+            .map
+            .values()
+            .filter(|&&p| p < nm_limit)
+            .count() as f64;
+        let frac = in_nm / 1000.0;
+        assert!((frac - 1.0 / 17.0).abs() < 0.03, "NM fraction {frac}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = PageAllocator::new(1 << 20, 42);
+        let mut b = PageAllocator::new(1 << 20, 42);
+        for v in 0..100u64 {
+            assert_eq!(
+                a.translate(0, VAddr::new(v * PAGE)),
+                b.translate(0, VAddr::new(v * PAGE))
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn exhaustion_panics() {
+        let mut a = PageAllocator::new(8 * PAGE, 1);
+        for v in 0..9u64 {
+            a.translate(0, VAddr::new(v * PAGE));
+        }
+    }
+
+    #[test]
+    fn translate_tracking_reports_first_touch() {
+        let mut a = PageAllocator::new(1 << 20, 1);
+        let (p1, fresh1) = a.translate_tracking(0, VAddr::new(0x1000));
+        assert!(fresh1);
+        let (p2, fresh2) = a.translate_tracking(0, VAddr::new(0x1008));
+        assert!(!fresh2);
+        assert_eq!(p1.raw() / PAGE, p2.raw() / PAGE);
+    }
+
+    #[test]
+    fn footprint_tracks_distinct_pages() {
+        let mut a = PageAllocator::new(1 << 20, 1);
+        a.translate(0, VAddr::new(0));
+        a.translate(0, VAddr::new(100));
+        a.translate(0, VAddr::new(PAGE));
+        assert_eq!(a.footprint_bytes(), 2 * PAGE);
+    }
+}

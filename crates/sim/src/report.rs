@@ -1,0 +1,127 @@
+//! Plain-text table rendering for the experiment reports.
+
+use std::fmt::Write as _;
+
+/// A titled, column-aligned text table.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Title printed above the table (e.g. `"Figure 12a — ..."`).
+    pub title: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Data rows (each the same length as `header`).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form footnotes printed under the table.
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(title: impl Into<String>, header: Vec<&str>) -> Self {
+        Report {
+            title: title.into(),
+            header: header.into_iter().map(str::to_owned).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "row width must match header width"
+        );
+        self.rows.push(row);
+    }
+
+    /// Appends a footnote.
+    pub fn push_note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |cells: &[String], widths: &[usize]| {
+            let mut s = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    s.push_str("  ");
+                }
+                let _ = write!(s, "{:<width$}", c, width = widths[i]);
+            }
+            s
+        };
+        let _ = writeln!(out, "{}", line(&self.header, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        for note in &self.notes {
+            let _ = writeln!(out, "  note: {note}");
+        }
+        out
+    }
+}
+
+/// Formats a float with 3 decimals (speedups, normalized metrics).
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats a percentage with 1 decimal.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", 100.0 * v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut r = Report::new("Demo", vec!["name", "value"]);
+        r.push_row(vec!["alpha".into(), "1.000".into()]);
+        r.push_row(vec!["b".into(), "22.5".into()]);
+        r.push_note("normalized to baseline");
+        let s = r.render();
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("alpha  1.000"));
+        assert!(s.contains("note: normalized"));
+        // Columns align: 'b' padded to the width of 'alpha'.
+        assert!(s.contains("b      22.5"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut r = Report::new("x", vec!["a", "b"]);
+        r.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(f2(1.23456), "1.23");
+        assert_eq!(pct(0.841), "84.1%");
+    }
+}

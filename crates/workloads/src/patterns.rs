@@ -1,0 +1,604 @@
+//! Access-pattern primitives and the trace generator.
+
+use sim_types::rng::SplitMix64;
+use sim_types::{TraceOp, TraceSource, VAddr};
+
+/// The family of synthetic access patterns used to stand in for the paper's
+/// benchmarks (see `DESIGN.md` §3).
+///
+/// Real applications mix *spatial* locality (streams, runs) with *temporal*
+/// locality (hot working sets, re-walked tiles); these primitives expose
+/// both as explicit knobs. All footprint-relative parameters are expressed
+/// in basis points (1 bp = 0.01%) so specs stay valid under scaling.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PatternSpec {
+    /// Dense sequential walk with a small element stride and **no reuse** —
+    /// the paper singles out dc.B's "streaming nature ... little potential
+    /// for data reuse".
+    Stream {
+        /// Byte stride between consecutive references.
+        stride: u32,
+    },
+    /// Sequential walk organized in *tiles* that are re-walked `repeats`
+    /// times before moving on — the timestep/subdomain reuse of stencil and
+    /// grid codes (lbm, sp.D, bt.D, fotonik3d). This is what lets caches
+    /// and migration cut FM traffic on streaming codes (Figure 16).
+    TiledStream {
+        /// Byte stride between consecutive references.
+        stride: u32,
+        /// Tile size as basis points of the footprint.
+        tile_bp: u32,
+        /// Number of times each tile is walked (>= 1).
+        repeats: u8,
+    },
+    /// Regular walk with a stride that skips lines — partial spatial
+    /// locality (ft.C transposes).
+    Strided {
+        /// Byte stride between consecutive references.
+        stride: u32,
+    },
+    /// Uniform random 8-byte references over the whole footprint — no
+    /// spatial *or* temporal locality at all. Reserved for deepsjeng
+    /// ("wide memory footprint and very limited spatial locality"; the
+    /// paper notes *no* scheme beats the baseline on it).
+    Random,
+    /// Random 64-byte-granule jumps concentrated on a hot subset — pointer
+    /// chasing over node-sized objects with a warm core (mcf, omnetpp,
+    /// ua.D). Poor spatial locality (large cache lines over-fetch), decent
+    /// temporal locality (NM capacity pays off).
+    PointerChase {
+        /// Hot-region size as basis points of the footprint.
+        hot_bp: u32,
+        /// Percentage of references that go to the hot region.
+        hot_pct: u8,
+    },
+    /// A hot subset absorbs most references; cold references walk short
+    /// sequential runs (page-level locality) — the low-MPKI SPEC group.
+    Hotspot {
+        /// Hot-region size as basis points of the footprint.
+        hot_bp: u32,
+        /// Percentage of references that go to the hot region.
+        hot_pct: u8,
+    },
+    /// Like [`PatternSpec::Hotspot`] but the hot region relocates every
+    /// `period` memory references — working-set shifts (gcc, xz), the case
+    /// caches adapt to faster than migration schemes.
+    PhasedHotspot {
+        /// Memory references between hot-region moves.
+        period: u64,
+        /// Hot-region size as basis points of the footprint.
+        hot_bp: u32,
+        /// Percentage of references that go to the hot region.
+        hot_pct: u8,
+    },
+    /// A probabilistic blend: `stream_pct`% sequential walk, the rest
+    /// hot-set random gathers — sparse algebra and mixed codes (cg.D,
+    /// cactus, cam4, x264).
+    StreamMix {
+        /// Percentage of references that continue the sequential walk.
+        stream_pct: u8,
+        /// Byte stride of the sequential component.
+        stride: u32,
+        /// Hot-region size (basis points) for the gather component.
+        hot_bp: u32,
+        /// Percentage of gathers that stay in the hot region.
+        hot_pct: u8,
+    },
+}
+
+/// A deterministic, unbounded trace generator for one hardware thread.
+///
+/// Produced by [`Workload::build`](crate::Workload::build); implements
+/// [`TraceSource`] for the core model.
+#[derive(Clone, Debug)]
+pub struct TraceGen {
+    pattern: PatternSpec,
+    mem_every: u32,
+    write_pct: u8,
+    /// First byte of this thread's own region.
+    base: u64,
+    /// Size of this thread's own region in bytes.
+    size: u64,
+    /// Bytes of the shared region at the bottom of the address space
+    /// (0 for private/MP address spaces).
+    shared_bytes: u64,
+    rng: SplitMix64,
+    cursor: u64,
+    cold_cursor: u64,
+    tile_start: u64,
+    tile_walked: u64,
+    tile_rep: u8,
+    ops: u64,
+    hot_base: u64,
+}
+
+impl TraceGen {
+    /// Creates a generator over `[base, base + size)` with an optional
+    /// shared region `[0, shared_bytes)` receiving ~1/8 of references.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is smaller than 4 KB (degenerate regions make the
+    /// pattern arithmetic meaningless).
+    pub fn new(
+        pattern: PatternSpec,
+        mem_every: u32,
+        write_pct: u8,
+        base: u64,
+        size: u64,
+        shared_bytes: u64,
+        rng: SplitMix64,
+    ) -> Self {
+        assert!(size >= 4096, "trace region must be at least 4 KB, got {size}");
+        TraceGen {
+            pattern,
+            mem_every: mem_every.max(1),
+            write_pct,
+            base,
+            size,
+            shared_bytes,
+            rng,
+            cursor: 0,
+            cold_cursor: 0,
+            tile_start: 0,
+            tile_walked: 0,
+            tile_rep: 0,
+            ops: 0,
+            hot_base: 0,
+        }
+    }
+
+    /// The pattern this generator follows.
+    pub fn pattern(&self) -> PatternSpec {
+        self.pattern
+    }
+
+    fn gap(&mut self) -> u32 {
+        // Uniform around the mean: mean gap = mem_every - 1.
+        if self.mem_every <= 1 {
+            0
+        } else {
+            self.rng.gen_range(u64::from(2 * (self.mem_every - 1) + 1)) as u32
+        }
+    }
+
+    fn region_of_bp(&self, bp: u32) -> u64 {
+        (self.size * u64::from(bp) / 10_000).max(4096)
+    }
+
+    /// A 64 B-granular reference biased to a hot region of `hot_bp` with
+    /// probability `hot_pct`, uniform over the footprint otherwise.
+    fn hot_jump(&mut self, hot_bp: u32, hot_pct: u8, hot_base: u64) -> u64 {
+        let hot = self.region_of_bp(hot_bp);
+        if self.rng.chance(u64::from(hot_pct), 100) {
+            (hot_base + self.rng.gen_range(hot / 64) * 64) % self.size
+        } else {
+            self.rng.gen_range(self.size / 64) * 64
+        }
+    }
+
+    /// A cold reference with page-level locality: short sequential runs of
+    /// 64 B lines with occasional random restarts (mean run ~8 lines).
+    fn cold_run(&mut self) -> u64 {
+        if self.rng.chance(1, 8) {
+            self.cold_cursor = self.rng.gen_range(self.size / 64) * 64;
+        } else {
+            self.cold_cursor = (self.cold_cursor + 64) % self.size;
+        }
+        self.cold_cursor
+    }
+
+    fn own_addr(&mut self) -> u64 {
+        let size = self.size;
+        match self.pattern {
+            PatternSpec::Stream { stride } | PatternSpec::Strided { stride } => {
+                self.cursor = (self.cursor + u64::from(stride)) % size;
+                self.cursor
+            }
+            PatternSpec::TiledStream {
+                stride,
+                tile_bp,
+                repeats,
+            } => {
+                let tile = self.region_of_bp(tile_bp);
+                self.tile_walked += u64::from(stride);
+                if self.tile_walked >= tile {
+                    self.tile_walked = 0;
+                    self.tile_rep += 1;
+                    if self.tile_rep >= repeats.max(1) {
+                        self.tile_rep = 0;
+                        self.tile_start = (self.tile_start + tile) % size;
+                    }
+                }
+                (self.tile_start + self.tile_walked) % size
+            }
+            PatternSpec::Random => self.rng.gen_range(size / 8) * 8,
+            PatternSpec::PointerChase { hot_bp, hot_pct } => {
+                self.hot_jump(hot_bp, hot_pct, 0)
+            }
+            PatternSpec::Hotspot { hot_bp, hot_pct } => {
+                let hot = self.region_of_bp(hot_bp);
+                if self.rng.chance(u64::from(hot_pct), 100) {
+                    self.rng.gen_range(hot / 8) * 8
+                } else {
+                    self.cold_run()
+                }
+            }
+            PatternSpec::PhasedHotspot {
+                period,
+                hot_bp,
+                hot_pct,
+            } => {
+                let hot = self.region_of_bp(hot_bp);
+                if self.ops > 0 && self.ops.is_multiple_of(period) {
+                    // Relocate the hot region to fresh addresses.
+                    self.hot_base = (self.hot_base + hot) % size.saturating_sub(hot).max(1);
+                }
+                if self.rng.chance(u64::from(hot_pct), 100) {
+                    (self.hot_base + self.rng.gen_range(hot / 8) * 8) % size
+                } else {
+                    self.cold_run()
+                }
+            }
+            PatternSpec::StreamMix {
+                stream_pct,
+                stride,
+                hot_bp,
+                hot_pct,
+            } => {
+                if self.rng.chance(u64::from(stream_pct), 100) {
+                    self.cursor = (self.cursor + u64::from(stride)) % size;
+                    self.cursor
+                } else {
+                    self.hot_jump(hot_bp, hot_pct, 0)
+                }
+            }
+        }
+    }
+}
+
+impl TraceSource for TraceGen {
+    fn next_op(&mut self) -> Option<TraceOp> {
+        self.ops += 1;
+        let gap = self.gap();
+        // Shared-region reference (MT workloads only): 1 in 8. Shared
+        // OpenMP structures (reduction variables, lookup tables, boundary
+        // planes) are compact and hot, so shared traffic concentrates on a
+        // core an eighth the size of the shared region.
+        let addr = if self.shared_bytes >= 4096 && self.rng.chance(1, 8) {
+            self.rng.gen_range((self.shared_bytes / 8).max(4096) / 64) * 64
+        } else {
+            self.base + self.own_addr()
+        };
+        let write = self.rng.chance(u64::from(self.write_pct), 100);
+        Some(if write {
+            TraceOp::store(gap, VAddr::new(addr))
+        } else {
+            TraceOp::load(gap, VAddr::new(addr))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(pattern: PatternSpec, size: u64) -> TraceGen {
+        TraceGen::new(pattern, 10, 20, 0, size, 0, SplitMix64::new(7))
+    }
+
+    fn collect(g: &mut TraceGen, n: usize) -> Vec<TraceOp> {
+        (0..n).map(|_| g.next_op().unwrap()).collect()
+    }
+
+    #[test]
+    fn stream_is_sequential_with_wraparound() {
+        let mut g = gen(PatternSpec::Stream { stride: 8 }, 4096);
+        let ops = collect(&mut g, 1024);
+        for w in ops.windows(2) {
+            let a = w[0].addr.raw();
+            let b = w[1].addr.raw();
+            assert!(b == a + 8 || b == 0, "stream must advance by stride or wrap");
+        }
+    }
+
+    #[test]
+    fn addresses_stay_in_region() {
+        for p in [
+            PatternSpec::Stream { stride: 8 },
+            PatternSpec::TiledStream {
+                stride: 8,
+                tile_bp: 500,
+                repeats: 2,
+            },
+            PatternSpec::Strided { stride: 320 },
+            PatternSpec::Random,
+            PatternSpec::PointerChase {
+                hot_bp: 2000,
+                hot_pct: 85,
+            },
+            PatternSpec::Hotspot {
+                hot_bp: 100,
+                hot_pct: 90,
+            },
+            PatternSpec::PhasedHotspot {
+                period: 100,
+                hot_bp: 100,
+                hot_pct: 90,
+            },
+            PatternSpec::StreamMix {
+                stream_pct: 70,
+                stride: 8,
+                hot_bp: 1000,
+                hot_pct: 80,
+            },
+        ] {
+            let size = 1 << 20;
+            let mut g = TraceGen::new(p, 5, 10, 1 << 30, size, 0, SplitMix64::new(3));
+            for _ in 0..5000 {
+                let op = g.next_op().unwrap();
+                let a = op.addr.raw();
+                assert!(
+                    a >= (1 << 30) && a < (1 << 30) + size,
+                    "pattern {p:?} escaped its region: {a:#x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_stream_revisits_lines() {
+        let size = 1u64 << 20;
+        let mut g = gen(
+            PatternSpec::TiledStream {
+                stride: 64,
+                tile_bp: 100, // ~10 KB tiles
+                repeats: 3,
+            },
+            size,
+        );
+        let ops = collect(&mut g, 3000);
+        let mut counts = std::collections::HashMap::new();
+        for o in &ops {
+            *counts.entry(o.addr.raw() / 64).or_insert(0u32) += 1;
+        }
+        let revisited = counts.values().filter(|&&c| c >= 3).count();
+        assert!(
+            revisited > counts.len() / 2,
+            "tiles must be re-walked: {revisited}/{}",
+            counts.len()
+        );
+    }
+
+    #[test]
+    fn pure_stream_never_revisits_within_footprint() {
+        let size = 1u64 << 20;
+        let mut g = gen(PatternSpec::Stream { stride: 64 }, size);
+        let ops = collect(&mut g, 10_000); // < size/64 ops: no wrap yet
+        let mut seen = std::collections::HashSet::new();
+        for o in &ops {
+            assert!(seen.insert(o.addr.raw()), "stream revisited before wrap");
+        }
+    }
+
+    #[test]
+    fn pointer_chase_is_line_aligned_and_hot_biased() {
+        let size = 1u64 << 22;
+        let mut g = gen(
+            PatternSpec::PointerChase {
+                hot_bp: 1000, // 10%
+                hot_pct: 85,
+            },
+            size,
+        );
+        let ops = collect(&mut g, 20_000);
+        let hot_limit = size / 10;
+        let mut hot = 0;
+        for op in &ops {
+            assert_eq!(op.addr.raw() % 64, 0);
+            if op.addr.raw() < hot_limit {
+                hot += 1;
+            }
+        }
+        let frac = hot as f64 / ops.len() as f64;
+        assert!(frac > 0.8, "hot fraction was {frac}");
+    }
+
+    #[test]
+    fn hotspot_concentrates_references() {
+        let size = 1u64 << 22; // 4 MB
+        let mut g = gen(
+            PatternSpec::Hotspot {
+                hot_bp: 100, // 1% of footprint
+                hot_pct: 90,
+            },
+            size,
+        );
+        let hot_limit = size / 100;
+        let ops = collect(&mut g, 20_000);
+        let hot = ops.iter().filter(|o| o.addr.raw() < hot_limit).count();
+        let frac = hot as f64 / ops.len() as f64;
+        assert!(frac > 0.85, "hot fraction was {frac}");
+    }
+
+    #[test]
+    fn cold_references_form_sequential_runs() {
+        let size = 1u64 << 22;
+        let mut g = gen(
+            PatternSpec::Hotspot {
+                hot_bp: 100,
+                hot_pct: 0, // everything cold
+            },
+            size,
+        );
+        let ops = collect(&mut g, 10_000);
+        let sequential = ops
+            .windows(2)
+            .filter(|w| w[1].addr.raw() == (w[0].addr.raw() + 64) % size)
+            .count();
+        let frac = sequential as f64 / ops.len() as f64;
+        assert!(
+            frac > 0.7,
+            "cold walker should mostly advance sequentially, got {frac}"
+        );
+    }
+
+    #[test]
+    fn phased_hotspot_moves_its_hot_set() {
+        let size = 1u64 << 22;
+        let mut g = gen(
+            PatternSpec::PhasedHotspot {
+                period: 5_000,
+                hot_bp: 100,
+                hot_pct: 95,
+            },
+            size,
+        );
+        let first: Vec<u64> = collect(&mut g, 4_000).iter().map(|o| o.addr.raw()).collect();
+        let _skip = collect(&mut g, 2_000);
+        let second: Vec<u64> = collect(&mut g, 4_000).iter().map(|o| o.addr.raw()).collect();
+        let median = |mut v: Vec<u64>| {
+            v.sort_unstable();
+            v[v.len() / 2]
+        };
+        assert_ne!(
+            median(first) / 4096,
+            median(second) / 4096,
+            "hot set should have relocated between phases"
+        );
+    }
+
+    #[test]
+    fn write_fraction_is_respected() {
+        let mut g = TraceGen::new(
+            PatternSpec::Random,
+            5,
+            30,
+            0,
+            1 << 20,
+            0,
+            SplitMix64::new(11),
+        );
+        let ops = collect(&mut g, 20_000);
+        let writes = ops.iter().filter(|o| o.kind.is_write()).count();
+        let frac = writes as f64 / ops.len() as f64;
+        assert!((frac - 0.30).abs() < 0.02, "write fraction was {frac}");
+    }
+
+    #[test]
+    fn gap_mean_tracks_mem_every() {
+        let mut g = TraceGen::new(
+            PatternSpec::Random,
+            40,
+            0,
+            0,
+            1 << 20,
+            0,
+            SplitMix64::new(13),
+        );
+        let ops = collect(&mut g, 50_000);
+        let mean_gap: f64 =
+            ops.iter().map(|o| f64::from(o.gap)).sum::<f64>() / ops.len() as f64;
+        assert!((mean_gap - 39.0).abs() < 1.5, "mean gap was {mean_gap}");
+    }
+
+    #[test]
+    fn shared_region_gets_a_slice_of_references() {
+        let mut g = TraceGen::new(
+            PatternSpec::Random,
+            5,
+            0,
+            1 << 20,     // own region above 1 MB
+            1 << 20,     // 1 MB own
+            64 * 1024,   // 64 KB shared at the bottom
+            SplitMix64::new(17),
+        );
+        let ops = collect(&mut g, 20_000);
+        let shared = ops.iter().filter(|o| o.addr.raw() < 64 * 1024).count();
+        let frac = shared as f64 / ops.len() as f64;
+        assert!((frac - 0.125).abs() < 0.02, "shared fraction was {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4 KB")]
+    fn tiny_region_rejected() {
+        let _ = TraceGen::new(
+            PatternSpec::Random,
+            5,
+            0,
+            0,
+            1024,
+            0,
+            SplitMix64::new(1),
+        );
+    }
+
+    #[test]
+    fn mem_every_one_means_zero_gaps() {
+        let mut g = TraceGen::new(
+            PatternSpec::Random,
+            1,
+            0,
+            0,
+            1 << 20,
+            0,
+            SplitMix64::new(1),
+        );
+        for op in collect(&mut g, 100) {
+            assert_eq!(op.gap, 0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_pattern() -> impl Strategy<Value = PatternSpec> {
+        prop_oneof![
+            (3u32..10).prop_map(|p| PatternSpec::Stream { stride: 1 << p }),
+            ((3u32..10), (50u32..2000), (1u8..4)).prop_map(|(p, t, r)| {
+                PatternSpec::TiledStream { stride: 1 << p, tile_bp: t, repeats: r }
+            }),
+            Just(PatternSpec::Random),
+            ((50u32..5000), (0u8..=100)).prop_map(|(h, p)| PatternSpec::PointerChase {
+                hot_bp: h,
+                hot_pct: p,
+            }),
+            ((50u32..5000), (0u8..=100)).prop_map(|(h, p)| PatternSpec::Hotspot {
+                hot_bp: h,
+                hot_pct: p,
+            }),
+        ]
+    }
+
+    proptest! {
+        /// Every pattern stays inside its region for any parameters.
+        #[test]
+        fn any_pattern_stays_in_bounds(
+            pattern in arb_pattern(),
+            base in (0u64..1u64<<30).prop_map(|b| b & !4095),
+            size_kb in 4u64..4096,
+            seed in any::<u64>(),
+        ) {
+            let size = size_kb * 1024;
+            let mut g = TraceGen::new(pattern, 5, 20, base, size, 0, SplitMix64::new(seed));
+            for _ in 0..500 {
+                let op = g.next_op().unwrap();
+                prop_assert!(op.addr.raw() >= base && op.addr.raw() < base + size,
+                    "{pattern:?} escaped: {:#x}", op.addr.raw());
+            }
+        }
+
+        /// Generators are deterministic functions of their seed.
+        #[test]
+        fn generator_determinism(pattern in arb_pattern(), seed in any::<u64>()) {
+            let mk = || TraceGen::new(pattern, 7, 25, 0, 1 << 20, 0, SplitMix64::new(seed));
+            let (mut a, mut b) = (mk(), mk());
+            for _ in 0..200 {
+                prop_assert_eq!(a.next_op(), b.next_op());
+            }
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! The capacity story (paper §1/§2.3): a DRAM cache *denies* NM capacity to
+//! the system, a migration scheme keeps it, and Hybrid2 gives away only the
+//! small cache slice.
+//!
+//! This example prints the software-visible memory under each scheme and
+//! then runs a large-footprint workload (cg.D, 7.8 GB at paper scale) to
+//! show that Hybrid2 pairs near-cache performance with near-migration
+//! capacity.
+//!
+//! ```text
+//! cargo run --release --example capacity_pressure
+//! ```
+
+use hybrid2::harness::build_scheme;
+use hybrid2::prelude::*;
+use hybrid2::ScaledSystem;
+
+fn main() {
+    let scale = 1024;
+    let sys = ScaledSystem::new(NmRatio::OneGb, scale);
+    println!(
+        "system at 1/{scale} of paper scale: NM {} MiB, FM {} MiB",
+        sys.nm_bytes >> 20,
+        sys.fm_bytes >> 20
+    );
+    println!();
+    println!("software-visible main memory per scheme:");
+    for kind in [
+        SchemeKind::Baseline,
+        SchemeKind::Tagless,
+        SchemeKind::Dfc,
+        SchemeKind::MemPod,
+        SchemeKind::Lgm,
+        SchemeKind::Hybrid2,
+    ] {
+        let scheme = build_scheme(kind, &sys);
+        let cap = scheme.flat_capacity_bytes();
+        println!(
+            "  {:<8} {:>8.1} MiB  ({:+.1}% vs FM alone)",
+            scheme.name(),
+            cap as f64 / (1 << 20) as f64,
+            100.0 * (cap as f64 - sys.fm_bytes as f64) / sys.fm_bytes as f64
+        );
+    }
+
+    // Now performance under capacity pressure: cg.D's footprint dwarfs NM.
+    let cfg = EvalConfig {
+        scale_den: scale,
+        instrs_per_core: 1_000_000,
+        seed: 11,
+        threads: 1,
+    };
+    let spec = catalog::by_name("cg.D").expect("cg.D is in the catalog");
+    println!();
+    println!(
+        "running {} (footprint {:.1} GB at paper scale, NM holds ~{:.0}%):",
+        spec.name,
+        spec.paper.footprint_gb,
+        100.0 / spec.paper.footprint_gb
+    );
+    let base = run_one(SchemeKind::Baseline, spec, NmRatio::OneGb, &cfg);
+    for kind in [SchemeKind::Tagless, SchemeKind::Lgm, SchemeKind::Hybrid2] {
+        let r = run_one(kind, spec, NmRatio::OneGb, &cfg);
+        println!(
+            "  {:<8} speedup {:>5.2}x   NM-served {:>5.1}%",
+            r.scheme,
+            base.cycles as f64 / r.cycles as f64,
+            100.0 * r.nm_served
+        );
+    }
+    println!();
+    println!(
+        "Hybrid2 keeps {:.1}% more memory than the caches while competing on speed;",
+        NmRatio::OneGb.capacity_gain_pct()
+    );
+    println!("the paper's abstract quotes 5.9% / 12.1% / 24.6% for the three NM sizes.");
+}

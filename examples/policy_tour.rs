@@ -1,0 +1,70 @@
+//! A tour of all six schemes on one workload, printing the full measurement
+//! vector the paper's figures are built from: speedup (Fig 13), NM service
+//! rate (Fig 15), FM/NM traffic (Figs 16/17) and dynamic energy (Fig 18).
+//!
+//! Pick the workload and NM size on the command line:
+//!
+//! ```text
+//! cargo run --release --example policy_tour -- omnetpp 1
+//! cargo run --release --example policy_tour -- mcf 4
+//! ```
+
+use hybrid2::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let name = args.first().map(String::as_str).unwrap_or("omnetpp");
+    let ratio = match args.get(1).map(String::as_str) {
+        Some("2") => NmRatio::TwoGb,
+        Some("4") => NmRatio::FourGb,
+        _ => NmRatio::OneGb,
+    };
+    let Some(spec) = catalog::by_name(name) else {
+        eprintln!("unknown workload {name:?}; available:");
+        for s in catalog::all() {
+            eprint!("{} ", s.name);
+        }
+        eprintln!();
+        std::process::exit(2);
+    };
+
+    let cfg = EvalConfig {
+        scale_den: 1024,
+        instrs_per_core: 1_000_000,
+        seed: 99,
+        threads: 1,
+    };
+    println!(
+        "{} ({}, {} MPKI class) at NM = {}",
+        spec.name,
+        spec.kind,
+        spec.class,
+        ratio.label()
+    );
+    println!();
+
+    let base = run_one(SchemeKind::Baseline, spec, ratio, &cfg);
+    println!(
+        "{:<9} {:>8} {:>10} {:>10} {:>10} {:>8}",
+        "scheme", "speedup", "NM-served", "FM bytes", "NM bytes", "energy"
+    );
+    println!(
+        "{:<9} {:>8} {:>10} {:>10} {:>10} {:>8}",
+        "", "(x)", "(%)", "(norm)", "(norm)", "(norm)"
+    );
+    for kind in SchemeKind::MAIN {
+        let r = run_one(kind, spec, ratio, &cfg);
+        println!(
+            "{:<9} {:>8.2} {:>10.1} {:>10.2} {:>10.2} {:>8.2}",
+            r.scheme,
+            base.cycles as f64 / r.cycles as f64,
+            100.0 * r.nm_served,
+            r.fm_traffic as f64 / base.fm_traffic.max(1) as f64,
+            r.nm_traffic as f64 / base.fm_traffic.max(1) as f64,
+            r.energy_mj / base.energy_mj.max(1e-12)
+        );
+    }
+    println!();
+    println!("normalized columns follow the paper's convention: baseline = 1.0;");
+    println!("NM traffic is normalized to the baseline's (FM) traffic like Figure 17.");
+}

@@ -1,0 +1,55 @@
+//! Cache reactivity vs migration inertia (paper §2.3): when the working set
+//! shifts, a cache fetches the new hot data immediately, while a pure
+//! migration scheme must first *observe* the new behaviour across an
+//! interval before it moves anything. Hybrid2's small cache is exactly its
+//! fast-adaptation mechanism.
+//!
+//! We run gcc — modelled as a phased hot-set workload — under an
+//! interval-based migration scheme (MemPod), a cache (Tagless) and Hybrid2,
+//! and also compare Hybrid2 against its own Migrate-None ablation to show
+//! how much of its win is the cache's reactivity.
+//!
+//! ```text
+//! cargo run --release --example working_set_shift
+//! ```
+
+use hybrid2::prelude::*;
+
+fn main() {
+    let cfg = EvalConfig {
+        scale_den: 1024,
+        instrs_per_core: 1_500_000,
+        seed: 3,
+        threads: 1,
+    };
+    let spec = catalog::by_name("gcc").expect("gcc is in the catalog");
+    println!(
+        "workload: {} — hot working set relocates periodically (phased pattern)",
+        spec.name
+    );
+    println!();
+
+    let base = run_one(SchemeKind::Baseline, spec, NmRatio::OneGb, &cfg);
+    println!("{:<12} {:>8} {:>12} {:>14}", "scheme", "speedup", "NM-served", "moved into NM");
+    for kind in [
+        SchemeKind::MemPod,
+        SchemeKind::Tagless,
+        SchemeKind::Hybrid2Variant(Variant::MigrateNone),
+        SchemeKind::Hybrid2,
+    ] {
+        let r = run_one(kind, spec, NmRatio::OneGb, &cfg);
+        println!(
+            "{:<12} {:>7.2}x {:>11.1}% {:>14}",
+            r.scheme,
+            base.cycles as f64 / r.cycles as f64,
+            100.0 * r.nm_served,
+            r.stats.moved_into_nm
+        );
+    }
+    println!();
+    println!("reading the table:");
+    println!(" * MemPod only reacts at 50 us interval boundaries — slow after each shift;");
+    println!(" * the cache tracks the shift instantly (high NM-served);");
+    println!(" * Hybrid2 pairs the reactive cache with eviction-time migration, and");
+    println!("   even its Migrate-None ablation keeps most of the reactivity win.");
+}

@@ -1,0 +1,130 @@
+//! Full-system integration: every scheme, end to end, through the facade.
+
+use hybrid2::harness::run_one;
+use hybrid2::prelude::*;
+
+fn tiny() -> EvalConfig {
+    EvalConfig {
+        scale_den: 1024,
+        instrs_per_core: 60_000,
+        seed: 1234,
+        threads: 2,
+    }
+}
+
+#[test]
+fn every_scheme_completes_a_full_run() {
+    let cfg = tiny();
+    let spec = catalog::by_name("lbm").unwrap();
+    let mut kinds = vec![SchemeKind::Baseline];
+    kinds.extend(SchemeKind::MAIN);
+    for kind in kinds {
+        let r = run_one(kind, spec, NmRatio::OneGb, &cfg);
+        assert!(r.instructions >= 8 * cfg.instrs_per_core, "{:?}", kind);
+        assert!(r.cycles > 0, "{kind:?}");
+        assert!(r.energy_mj > 0.0, "{kind:?}");
+        assert!(
+            (0.0..=1.0).contains(&r.nm_served),
+            "{kind:?} NM-served fraction out of range"
+        );
+        assert!(r.ipc() > 0.0 && r.ipc() <= 32.0, "{kind:?} IPC {:.2}", r.ipc());
+    }
+}
+
+#[test]
+fn runs_are_deterministic_per_seed() {
+    let cfg = tiny();
+    let spec = catalog::by_name("omnetpp").unwrap();
+    for kind in [SchemeKind::Hybrid2, SchemeKind::Lgm, SchemeKind::Tagless] {
+        let a = run_one(kind, spec, NmRatio::OneGb, &cfg);
+        let b = run_one(kind, spec, NmRatio::OneGb, &cfg);
+        assert_eq!(a.cycles, b.cycles, "{kind:?}");
+        assert_eq!(a.fm_traffic, b.fm_traffic, "{kind:?}");
+        assert_eq!(a.nm_traffic, b.nm_traffic, "{kind:?}");
+        assert_eq!(a.stats, b.stats, "{kind:?}");
+    }
+}
+
+#[test]
+fn different_seeds_change_placement_and_timing() {
+    let mut cfg = tiny();
+    let spec = catalog::by_name("mcf").unwrap();
+    let a = run_one(SchemeKind::Hybrid2, spec, NmRatio::OneGb, &cfg);
+    cfg.seed += 1;
+    let b = run_one(SchemeKind::Hybrid2, spec, NmRatio::OneGb, &cfg);
+    assert_ne!(a.cycles, b.cycles);
+}
+
+#[test]
+fn baseline_never_touches_nm() {
+    let cfg = tiny();
+    for name in ["lbm", "omnetpp", "xalanc"] {
+        let spec = catalog::by_name(name).unwrap();
+        let r = run_one(SchemeKind::Baseline, spec, NmRatio::OneGb, &cfg);
+        assert_eq!(r.nm_traffic, 0, "{name}");
+        assert_eq!(r.nm_served, 0.0, "{name}");
+        assert!(r.fm_traffic > 0, "{name}");
+    }
+}
+
+#[test]
+fn workload_footprint_respects_spec_scaling() {
+    let cfg = tiny();
+    let spec = catalog::by_name("mcf").unwrap(); // smallest footprint
+    let r = run_one(SchemeKind::Baseline, spec, NmRatio::OneGb, &cfg);
+    // Touched pages can never exceed the scaled footprint (plus rounding).
+    let scaled = spec.paper.footprint_bytes() / cfg.scale_den;
+    assert!(
+        r.footprint <= scaled.max(8 * 64 * 1024) + 8 * 4096,
+        "footprint {} vs scaled spec {}",
+        r.footprint,
+        scaled
+    );
+}
+
+#[test]
+fn bigger_nm_never_hurts_hybrid2() {
+    let cfg = tiny();
+    let spec = catalog::by_name("lbm").unwrap();
+    let r1 = run_one(SchemeKind::Hybrid2, spec, NmRatio::OneGb, &cfg);
+    let r4 = run_one(SchemeKind::Hybrid2, spec, NmRatio::FourGb, &cfg);
+    // 4x the NM must not be slower beyond noise.
+    assert!(
+        (r4.cycles as f64) < r1.cycles as f64 * 1.10,
+        "4GB {} vs 1GB {}",
+        r4.cycles,
+        r1.cycles
+    );
+}
+
+#[test]
+fn mpki_classes_separate_in_measurement() {
+    let cfg = EvalConfig {
+        scale_den: 1024,
+        instrs_per_core: 120_000,
+        seed: 5,
+        threads: 2,
+    };
+    let high = run_one(
+        SchemeKind::Baseline,
+        catalog::by_name("lbm").unwrap(),
+        NmRatio::OneGb,
+        &cfg,
+    );
+    let low = run_one(
+        SchemeKind::Baseline,
+        catalog::by_name("leela").unwrap(),
+        NmRatio::OneGb,
+        &cfg,
+    );
+    // At 1/1024 scale the hot-set floors (4 KB) approach the scaled LLC
+    // (8 KB), compressing the separation; 5x is still unambiguous. The
+    // table2 experiment at the default 1/256 scale shows the full split.
+    assert!(
+        high.mpki > 5.0 * low.mpki.max(0.01),
+        "high {} vs low {}",
+        high.mpki,
+        low.mpki
+    );
+    assert!(high.mpki > 15.0, "lbm must measure as high-MPKI");
+}

@@ -1,0 +1,97 @@
+//! Smoke tests for the experiment harness: each figure's report builds and
+//! contains the expected series at a tiny scale.
+
+use hybrid2::harness::experiments;
+use hybrid2::prelude::*;
+
+fn tiny() -> EvalConfig {
+    EvalConfig {
+        scale_den: 1024,
+        instrs_per_core: 40_000,
+        seed: 2,
+        threads: 4,
+    }
+}
+
+#[test]
+fn fig01_report_has_all_line_sizes() {
+    let reports = experiments::fig01_wasted_data(&tiny(), true);
+    assert_eq!(reports.len(), 1);
+    let rendered = reports[0].render();
+    for line in ["64", "256", "4096"] {
+        assert!(rendered.contains(line), "missing line size {line}");
+    }
+}
+
+#[test]
+fn fig14_report_lists_all_variants() {
+    let reports = experiments::fig14_breakdown(&tiny(), true);
+    let rendered = reports[0].render();
+    for v in Variant::ALL {
+        assert!(rendered.contains(v.label()), "missing {v}");
+    }
+}
+
+#[test]
+fn evalsuite_produces_five_reports() {
+    let m = experiments::main_matrix(NmRatio::OneGb, &tiny(), true);
+    let reports = [
+        experiments::fig13_per_benchmark(&m),
+        experiments::fig15_nm_served(&m),
+        experiments::fig16_fm_traffic(&m),
+        experiments::fig17_nm_traffic(&m),
+        experiments::fig18_energy(&m),
+    ];
+    for r in &reports {
+        let txt = r.render();
+        assert!(txt.contains("HYBRID2"), "{}", r.title);
+        assert!(!r.rows.is_empty(), "{}", r.title);
+    }
+    // Figure 13 lists every smoke workload.
+    assert_eq!(reports[0].rows.len(), 3);
+}
+
+#[test]
+fn table2_measures_all_smoke_workloads() {
+    let reports = experiments::table2_characterization(&tiny(), true);
+    let r = &reports[0];
+    assert_eq!(r.rows.len(), 3);
+    // Columns: measured MPKI is a parseable number.
+    for row in &r.rows {
+        let _: f64 = row[4].parse().expect("measured MPKI is numeric");
+    }
+}
+
+#[test]
+fn ablation_reports_render() {
+    for reports in [
+        experiments::ablation_budget_period(&tiny(), true),
+        experiments::ablation_stack_window(&tiny(), true),
+    ] {
+        assert!(!reports.is_empty());
+        for r in reports {
+            assert!(!r.render().is_empty());
+        }
+    }
+}
+
+#[test]
+fn run_by_id_rejects_unknown_gracefully() {
+    let result = std::panic::catch_unwind(|| {
+        experiments::run_by_id("fig99", &tiny(), true);
+    });
+    assert!(result.is_err(), "unknown ids must be rejected");
+}
+
+#[test]
+fn design_space_respects_xta_budget() {
+    // Static part of fig11: the enumeration itself.
+    let points = experiments::fig11_design_points();
+    assert!(points.contains(&(64 << 20, 2048, 256)), "paper best in space");
+    for &(cache, sector, line) in &points {
+        let mut cfg = Hybrid2Config::paper_default();
+        cfg.cache_bytes = cache;
+        cfg.geometry = hybrid2::types::Geometry::new(line, sector).unwrap();
+        assert!(cfg.xta_size_bytes() <= 512 * 1024);
+    }
+}
