@@ -172,18 +172,16 @@ impl MemoryScheme for Chameleon {
         let group = self.group_of(block);
         let resident = self.flat.block_at(group);
         self.counters[block as usize] = self.counters[block as usize].saturating_add(1);
-        let should_swap =
-            self.counters[block as usize] >= self.counters[resident as usize].saturating_add(self.cfg.k);
+        let should_swap = self.counters[block as usize]
+            >= self.counters[resident as usize].saturating_add(self.cfg.k);
 
         // Cache-mode probe (sub-blocked: only previously fetched 64 B lines
         // hit; no over-fetch). The slice is write-through: writes always go
         // to the FM home and invalidate any cached copy of the line.
         let idx = self.cache_index(block);
         let entry = self.cache_entries[idx];
-        let cache_hit = !write
-            && entry.in_use
-            && entry.block == block
-            && entry.valid_mask & (1 << line) != 0;
+        let cache_hit =
+            !write && entry.in_use && entry.block == block && entry.valid_mask & (1 << line) != 0;
 
         let served = if cache_hit {
             self.cache_hits += 1;
@@ -339,7 +337,10 @@ mod tests {
         let fm = PAddr::new(512 * 1024);
         c.access(&MemReq::read(fm, 64, Cycle::ZERO), &mut dram);
         // Different 64 B line of the same block: still a cache miss.
-        let s = c.access(&MemReq::read(PAddr::new(512 * 1024 + 128), 64, Cycle::ZERO), &mut dram);
+        let s = c.access(
+            &MemReq::read(PAddr::new(512 * 1024 + 128), 64, Cycle::ZERO),
+            &mut dram,
+        );
         assert!(!s.from_nm);
         // Only 64 B fills went into NM (no 2 KB over-fetch).
         let fill = dram.device(MemSide::Nm).stats().bytes(TrafficClass::Fill);
@@ -356,7 +357,10 @@ mod tests {
         let fm_writes_before = dram.device(MemSide::Fm).stats().writes;
         let s = c.access(&MemReq::write(a, 64, Cycle::new(100)), &mut dram);
         assert!(!s.from_nm, "writes go through to FM");
-        assert_eq!(dram.device(MemSide::Fm).stats().writes, fm_writes_before + 1);
+        assert_eq!(
+            dram.device(MemSide::Fm).stats().writes,
+            fm_writes_before + 1
+        );
         let s = c.access(&MemReq::read(a, 64, Cycle::new(200)), &mut dram);
         assert!(!s.from_nm, "the stale cached line was invalidated");
         // And no dirty writebacks ever originate from the slice.

@@ -318,7 +318,10 @@ mod tests {
         let a = PAddr::new(0);
         d.access(&MemReq::read(a, 64, Cycle::ZERO), &mut dram);
         for i in 1..200u64 {
-            d.access(&MemReq::read(PAddr::new(i * 1024), 64, Cycle::ZERO), &mut dram);
+            d.access(
+                &MemReq::read(PAddr::new(i * 1024), 64, Cycle::ZERO),
+                &mut dram,
+            );
         }
         let before = d.tag_probes;
         d.access(&MemReq::read(a, 64, Cycle::ZERO), &mut dram);
@@ -329,8 +332,14 @@ mod tests {
     fn one_kb_line_fills_charge_fill_traffic() {
         let (mut d, mut dram) = dfc();
         d.access(&MemReq::read(PAddr::new(0), 64, Cycle::ZERO), &mut dram);
-        assert_eq!(dram.device(MemSide::Fm).stats().bytes(TrafficClass::Fill), 1024);
-        assert_eq!(dram.device(MemSide::Nm).stats().bytes(TrafficClass::Fill), 1024);
+        assert_eq!(
+            dram.device(MemSide::Fm).stats().bytes(TrafficClass::Fill),
+            1024
+        );
+        assert_eq!(
+            dram.device(MemSide::Nm).stats().bytes(TrafficClass::Fill),
+            1024
+        );
     }
 
     #[test]
@@ -338,7 +347,12 @@ mod tests {
         let (mut d, mut dram) = dfc();
         d.access(&MemReq::read(PAddr::new(0), 64, Cycle::ZERO), &mut dram);
         assert!(d.stats().metadata_writes >= 1);
-        assert!(dram.device(MemSide::Nm).stats().bytes(TrafficClass::Metadata) > 0);
+        assert!(
+            dram.device(MemSide::Nm)
+                .stats()
+                .bytes(TrafficClass::Metadata)
+                > 0
+        );
     }
 
     #[test]
@@ -347,7 +361,10 @@ mod tests {
         // 64KB/1KB/4-way = 16 sets; same-set stride = 16 KiB.
         d.access(&MemReq::write(PAddr::new(0), 64, Cycle::ZERO), &mut dram);
         for i in 1..=4u64 {
-            d.access(&MemReq::read(PAddr::new(i * 16 * 1024), 64, Cycle::ZERO), &mut dram);
+            d.access(
+                &MemReq::read(PAddr::new(i * 16 * 1024), 64, Cycle::ZERO),
+                &mut dram,
+            );
         }
         assert_eq!(d.stats().dirty_writebacks, 1);
     }

@@ -329,8 +329,14 @@ mod tests {
     fn swap_charges_both_directions() {
         let (mut r, mut dram) = remap();
         r.swap_into_nm(10, 0, 0, Cycle::ZERO, &mut dram);
-        let nm = dram.device(MemSide::Nm).stats().bytes(TrafficClass::Migration);
-        let fm = dram.device(MemSide::Fm).stats().bytes(TrafficClass::Migration);
+        let nm = dram
+            .device(MemSide::Nm)
+            .stats()
+            .bytes(TrafficClass::Migration);
+        let fm = dram
+            .device(MemSide::Fm)
+            .stats()
+            .bytes(TrafficClass::Migration);
         assert_eq!(nm, 2 * 2048, "block written into NM and victim read out");
         assert_eq!(fm, 2 * 2048, "block read from FM and victim written back");
     }
@@ -358,7 +364,10 @@ mod tests {
     #[test]
     fn device_addresses_scale_by_block() {
         let (r, _) = remap();
-        assert_eq!(r.device_addr(BlockLoc::Nm(2), 100), (MemSide::Nm, 2 * 2048 + 100));
+        assert_eq!(
+            r.device_addr(BlockLoc::Nm(2), 100),
+            (MemSide::Nm, 2 * 2048 + 100)
+        );
         assert_eq!(r.device_addr(BlockLoc::Fm(3), 0), (MemSide::Fm, 3 * 2048));
     }
 

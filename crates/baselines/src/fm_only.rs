@@ -67,10 +67,16 @@ mod tests {
     fn everything_goes_to_fm() {
         let mut s = FmOnly::new(1 << 30);
         let mut dram = DramSystem::paper_default();
-        let served = s.access(&MemReq::read(PAddr::new(0x1000), 64, Cycle::ZERO), &mut dram);
+        let served = s.access(
+            &MemReq::read(PAddr::new(0x1000), 64, Cycle::ZERO),
+            &mut dram,
+        );
         assert!(!served.from_nm);
         assert!(served.done > Cycle::ZERO);
-        s.access(&MemReq::write(PAddr::new(0x2000), 64, served.done), &mut dram);
+        s.access(
+            &MemReq::write(PAddr::new(0x2000), 64, served.done),
+            &mut dram,
+        );
         assert_eq!(dram.device(MemSide::Fm).stats().accesses, 2);
         assert_eq!(dram.device(MemSide::Nm).stats().accesses, 0);
         assert_eq!(s.stats().requests, 2);

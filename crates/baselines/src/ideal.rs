@@ -32,7 +32,9 @@ impl IdealCacheConfig {
     pub fn assert_valid(&self) {
         assert!(self.line_bytes.is_power_of_two() && self.line_bytes >= 64);
         assert!(self.line_bytes <= 4096, "paper sweeps at most 4 KB lines");
-        assert!(self.nm_bytes.is_multiple_of(self.line_bytes * u64::from(self.assoc)));
+        assert!(self
+            .nm_bytes
+            .is_multiple_of(self.line_bytes * u64::from(self.assoc)));
         assert!(self.fm_bytes > self.nm_bytes);
     }
 }
@@ -339,7 +341,10 @@ mod tests {
     fn fully_streamed_line_wastes_nothing() {
         let (mut c, mut dram) = cache(256);
         for i in 0..4u64 {
-            c.access(&MemReq::read(PAddr::new(i * 64), 64, Cycle::ZERO), &mut dram);
+            c.access(
+                &MemReq::read(PAddr::new(i * 64), 64, Cycle::ZERO),
+                &mut dram,
+            );
         }
         let w = c.waste_stats();
         assert_eq!(w.fetched_bytes, 256);
@@ -373,10 +378,16 @@ mod tests {
         let stride = 64 * 256u64;
         c.access(&MemReq::write(PAddr::new(0), 64, Cycle::ZERO), &mut dram);
         for i in 1..=4u64 {
-            c.access(&MemReq::read(PAddr::new(i * stride), 64, Cycle::ZERO), &mut dram);
+            c.access(
+                &MemReq::read(PAddr::new(i * stride), 64, Cycle::ZERO),
+                &mut dram,
+            );
         }
         assert_eq!(c.stats().dirty_writebacks, 1);
-        let wb = dram.device(MemSide::Fm).stats().bytes(TrafficClass::Writeback);
+        let wb = dram
+            .device(MemSide::Fm)
+            .stats()
+            .bytes(TrafficClass::Writeback);
         assert_eq!(wb, 256);
     }
 

@@ -135,9 +135,7 @@ impl MemoryScheme for Lgm {
             .filter(|(_, (_, mask))| mask.count_ones() >= self.cfg.min_lines)
             .map(|(&b, &(count, mask))| (b, count, mask))
             .collect();
-        candidates.sort_by(|a, b| {
-            (b.2.count_ones(), b.1, a.0).cmp(&(a.2.count_ones(), a.1, b.0))
-        });
+        candidates.sort_by(|a, b| (b.2.count_ones(), b.1, a.0).cmp(&(a.2.count_ones(), a.1, b.0)));
         candidates.truncate(self.cfg.watermark as usize);
         // Spread migration traffic across the interval (see MemPod).
         let mut at = now;
@@ -225,7 +223,10 @@ mod tests {
         touch_lines(&mut l, &mut dram, dense, 16); // 16 lines: dense
         touch_lines(&mut l, &mut dram, sparse, 2); // 2 lines: sparse
         l.on_tick(Cycle::new(1000), &mut dram);
-        assert!(l.flat().peek(dense / 2048).is_nm(), "dense segment migrates");
+        assert!(
+            l.flat().peek(dense / 2048).is_nm(),
+            "dense segment migrates"
+        );
         assert!(
             !l.flat().peek(sparse / 2048).is_nm(),
             "sparse segment stays in FM"

@@ -147,7 +147,11 @@ mod tests {
         let mut truth = std::collections::HashMap::new();
         for _ in 0..n {
             // Key 5 gets ~30% of the stream; the rest spread over 1000 keys.
-            let key = if rng.chance(3, 10) { 5 } else { 10 + rng.gen_range(1000) };
+            let key = if rng.chance(3, 10) {
+                5
+            } else {
+                10 + rng.gen_range(1000)
+            };
             m.observe(key);
             *truth.entry(key).or_insert(0u64) += 1;
         }

@@ -249,7 +249,10 @@ mod tests {
         let (mut t, mut dram) = tagless();
         // 16 frames; touch 40 distinct pages.
         for i in 0..40u64 {
-            t.access(&MemReq::read(PAddr::new(i * 4096), 64, Cycle::ZERO), &mut dram);
+            t.access(
+                &MemReq::read(PAddr::new(i * 4096), 64, Cycle::ZERO),
+                &mut dram,
+            );
         }
         assert_eq!(t.stats().lookup_misses, 40);
         assert!(t.map.len() <= 16);
@@ -260,19 +263,34 @@ mod tests {
         let (mut t, mut dram) = tagless();
         // Fill all 16 frames (pages 0..15); every frame referenced, hand=0.
         for i in 0..16u64 {
-            t.access(&MemReq::read(PAddr::new(i * 4096), 64, Cycle::ZERO), &mut dram);
+            t.access(
+                &MemReq::read(PAddr::new(i * 4096), 64, Cycle::ZERO),
+                &mut dram,
+            );
         }
         // Page 16 sweeps once (clearing every ref bit), evicts frame 0 and
         // lands there with its ref bit set; the hand now points at frame 1.
-        t.access(&MemReq::read(PAddr::new(16 * 4096), 64, Cycle::ZERO), &mut dram);
+        t.access(
+            &MemReq::read(PAddr::new(16 * 4096), 64, Cycle::ZERO),
+            &mut dram,
+        );
         // Re-reference page 1 (frame 1): second chance armed.
         t.access(&MemReq::read(PAddr::new(4096), 64, Cycle::ZERO), &mut dram);
         // Page 17: the hand skips frame 1 (referenced) and evicts frame 2.
-        t.access(&MemReq::read(PAddr::new(17 * 4096), 64, Cycle::ZERO), &mut dram);
+        t.access(
+            &MemReq::read(PAddr::new(17 * 4096), 64, Cycle::ZERO),
+            &mut dram,
+        );
         let s1 = t.access(&MemReq::read(PAddr::new(4096), 64, Cycle::ZERO), &mut dram);
         assert!(s1.from_nm, "referenced page got its second chance");
-        let s2 = t.access(&MemReq::read(PAddr::new(2 * 4096), 64, Cycle::ZERO), &mut dram);
-        assert!(!s2.from_nm, "the unreferenced neighbour was evicted instead");
+        let s2 = t.access(
+            &MemReq::read(PAddr::new(2 * 4096), 64, Cycle::ZERO),
+            &mut dram,
+        );
+        assert!(
+            !s2.from_nm,
+            "the unreferenced neighbour was evicted instead"
+        );
     }
 
     #[test]
@@ -280,10 +298,16 @@ mod tests {
         let (mut t, mut dram) = tagless();
         t.access(&MemReq::write(PAddr::new(0), 64, Cycle::ZERO), &mut dram);
         for i in 1..=16u64 {
-            t.access(&MemReq::read(PAddr::new(i * 4096), 64, Cycle::ZERO), &mut dram);
+            t.access(
+                &MemReq::read(PAddr::new(i * 4096), 64, Cycle::ZERO),
+                &mut dram,
+            );
         }
         assert_eq!(t.stats().dirty_writebacks, 1);
-        let wb = dram.device(MemSide::Fm).stats().bytes(TrafficClass::Writeback);
+        let wb = dram
+            .device(MemSide::Fm)
+            .stats()
+            .bytes(TrafficClass::Writeback);
         assert_eq!(wb, 4096);
     }
 

@@ -15,7 +15,14 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig14");
     for variant in [Variant::CacheOnly, Variant::Full] {
         group.bench_function(variant.label(), |b| {
-            b.iter(|| run_one(SchemeKind::Hybrid2Variant(variant), spec, NmRatio::OneGb, &cfg))
+            b.iter(|| {
+                run_one(
+                    SchemeKind::Hybrid2Variant(variant),
+                    spec,
+                    NmRatio::OneGb,
+                    &cfg,
+                )
+            })
         });
     }
     group.finish();

@@ -429,7 +429,10 @@ mod tests {
         let mut h = tiny();
         let mut misses = 0;
         for i in 0..100u64 {
-            if h.access(0, PAddr::new(i * 64), AccessKind::Read).llc_miss.is_some() {
+            if h.access(0, PAddr::new(i * 64), AccessKind::Read)
+                .llc_miss
+                .is_some()
+            {
                 misses += 1;
             }
         }

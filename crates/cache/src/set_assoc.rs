@@ -23,7 +23,10 @@ pub enum CacheConfigError {
 impl fmt::Display for CacheConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
-            CacheConfigError::BadCapacity { capacity, set_bytes } => write!(
+            CacheConfigError::BadCapacity {
+                capacity,
+                set_bytes,
+            } => write!(
                 f,
                 "capacity {capacity} is not a non-zero multiple of the set size {set_bytes}"
             ),
@@ -66,7 +69,10 @@ impl CacheConfig {
         }
         let set_bytes = u64::from(assoc) * line;
         if capacity == 0 || !capacity.is_multiple_of(set_bytes) {
-            return Err(CacheConfigError::BadCapacity { capacity, set_bytes });
+            return Err(CacheConfigError::BadCapacity {
+                capacity,
+                set_bytes,
+            });
         }
         let sets = capacity / set_bytes;
         if !sets.is_power_of_two() {

@@ -446,7 +446,10 @@ mod tests {
     fn rejects_bad_cache_shape() {
         let mut cfg = Hybrid2Config::paper_default();
         cfg.xta_assoc = 7;
-        assert!(matches!(cfg.validate(), Err(ConfigError::BadCacheShape { .. })));
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::BadCacheShape { .. })
+        ));
     }
 
     #[test]
@@ -467,7 +470,10 @@ mod tests {
         let l = Hybrid2Config::scaled_down(64).unwrap().validate().unwrap();
         // Metadata region ends before the first slot.
         let last_meta = l.stack_entry_addr(l.cache_sectors - 1) + 8;
-        assert!(last_meta <= l.meta_bytes, "metadata overflows its reservation");
+        assert!(
+            last_meta <= l.meta_bytes,
+            "metadata overflows its reservation"
+        );
         assert_eq!(l.nm_slot_addr(NmLoc::new(0)), l.meta_bytes);
     }
 

@@ -55,10 +55,7 @@ impl Dcmc {
         let tables = RemapTables::new(layout);
         // Boot pool: slots [0, cache_sectors), popped from the back so slot 0
         // is handed out first (the §3.5 boot counter).
-        let free_pool: Vec<NmLoc> = (0..layout.cache_sectors)
-            .rev()
-            .map(NmLoc::new)
-            .collect();
+        let free_pool: Vec<NmLoc> = (0..layout.cache_sectors).rev().map(NmLoc::new).collect();
         Ok(Dcmc {
             stack: FreeFmStack::new(layout.cache_sectors, cfg.free_stack_onchip),
             xta,
@@ -190,7 +187,13 @@ impl Dcmc {
             nvalid: victim.valid_count(),
             ndirty: victim.dirty_count(),
         };
-        match decide(victim.counter, &peers, cost, self.fm_budget, self.cfg.variant) {
+        match decide(
+            victim.counter,
+            &peers,
+            cost,
+            self.fm_budget,
+            self.cfg.variant,
+        ) {
             Decision::Evict => {
                 // Write dirty lines back to FM; no remap structures change.
                 let nm_base = self.layout.nm_slot_addr(victim.nm_slot);
@@ -258,7 +261,8 @@ impl Dcmc {
                     self.meta_write(addr, at, dram);
                 }
                 // Remap: the sector's home is now its (former cache) slot.
-                self.tables.set_location(victim.sector, Loc::Nm(victim.nm_slot));
+                self.tables
+                    .set_location(victim.sector, Loc::Nm(victim.nm_slot));
                 let remap_addr = self.layout.remap_entry_addr(victim.sector);
                 self.meta_write(remap_addr, at, dram);
                 // The slot permanently leaves the cache pool (§3.5 will
@@ -371,11 +375,7 @@ impl Dcmc {
                 self.layout.cache_sectors
             ));
         }
-        let assigned = self
-            .xta
-            .iter()
-            .filter(|e| !e.is_nm_resident())
-            .count() as u64;
+        let assigned = self.xta.iter().filter(|e| !e.is_nm_resident()).count() as u64;
         if assigned + self.free_pool.len() as u64 != owned {
             return Err(format!(
                 "pool accounting broken: {assigned} assigned + {} free != {owned} owned",
@@ -616,7 +616,9 @@ mod tests {
     fn small_dcmc(variant: Variant) -> (Dcmc, DramSystem) {
         // 1/1024 scale: NM 1 MB, FM 16 MB, cache 64 KB (32 sectors, 2 sets
         // of 16 ways).
-        let cfg = Hybrid2Config::scaled_down(1024).unwrap().with_variant(variant);
+        let cfg = Hybrid2Config::scaled_down(1024)
+            .unwrap()
+            .with_variant(variant);
         (Dcmc::new(cfg).unwrap(), DramSystem::paper_default())
     }
 
@@ -832,7 +834,9 @@ mod tests {
         assert_eq!(d.stats().metadata_reads, 0);
         assert_eq!(d.stats().metadata_writes, 0);
         assert_eq!(
-            dram.device(MemSide::Nm).stats().bytes(TrafficClass::Metadata),
+            dram.device(MemSide::Nm)
+                .stats()
+                .bytes(TrafficClass::Metadata),
             0
         );
     }
@@ -845,7 +849,10 @@ mod tests {
         }
         assert!(d.stats().metadata_reads > 0);
         assert!(
-            dram.device(MemSide::Nm).stats().bytes(TrafficClass::Metadata) > 0
+            dram.device(MemSide::Nm)
+                .stats()
+                .bytes(TrafficClass::Metadata)
+                > 0
         );
     }
 
@@ -886,7 +893,10 @@ mod tests {
     fn out_of_range_address_panics() {
         let (mut d, mut dram) = small_dcmc(Variant::Full);
         let beyond = d.flat_capacity_bytes();
-        d.access(&MemReq::read(PAddr::new(beyond), 64, Cycle::ZERO), &mut dram);
+        d.access(
+            &MemReq::read(PAddr::new(beyond), 64, Cycle::ZERO),
+            &mut dram,
+        );
     }
 
     #[test]
@@ -921,7 +931,10 @@ mod tests {
         assert_eq!(d.writebacks_avoided(), 1);
         // The dead sector itself must not have migrated (fillers may).
         let sec = d.layout().geometry.sector_of(a);
-        assert!(!d.tables().location(sec).is_nm(), "dead data must not migrate");
+        assert!(
+            !d.tables().location(sec).is_nm(),
+            "dead data must not migrate"
+        );
         d.check_invariants().unwrap();
     }
 
@@ -941,7 +954,10 @@ mod tests {
                 &mut dram,
             );
         }
-        assert!(d.stats().moved_out_of_nm > 0, "swaps still happen logically");
+        assert!(
+            d.stats().moved_out_of_nm > 0,
+            "swaps still happen logically"
+        );
         // Every NM-born (still dead) victim skips its copy; sectors that were
         // touched and later migrated in are live again, so they still copy.
         assert!(d.swaps_avoided() > 0, "dead swap-outs must skip copies");

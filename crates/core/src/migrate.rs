@@ -162,12 +162,18 @@ mod tests {
     #[test]
     fn budget_gates_migration() {
         // net cost of cost(4,2) is 11.
-        assert_eq!(decide(9, &[], cost(4, 2), 11, Variant::Full), Decision::Evict);
+        assert_eq!(
+            decide(9, &[], cost(4, 2), 11, Variant::Full),
+            Decision::Evict
+        );
         assert!(matches!(
             decide(9, &[], cost(4, 2), 12, Variant::Full),
             Decision::Migrate { net_cost: 11 }
         ));
-        assert_eq!(decide(9, &[], cost(4, 2), 0, Variant::Full), Decision::Evict);
+        assert_eq!(
+            decide(9, &[], cost(4, 2), 0, Variant::Full),
+            Decision::Evict
+        );
     }
 
     #[test]

@@ -261,7 +261,9 @@ mod tests {
     fn invariant_checker_catches_inverted_mismatch() {
         let mut t = tables();
         let s = SectorId::new(0);
-        let Loc::Nm(slot) = t.location(s) else { panic!() };
+        let Loc::Nm(slot) = t.location(s) else {
+            panic!()
+        };
         t.set_sector_at(slot, Some(SectorId::new(1)));
         assert!(t.check_invariants().is_err());
     }
@@ -271,7 +273,9 @@ mod tests {
         let mut t = tables();
         let l = *t.layout();
         let fm_sector = SectorId::new(l.nm_flat_sectors + 7);
-        let Loc::Fm(freed) = t.location(fm_sector) else { panic!() };
+        let Loc::Fm(freed) = t.location(fm_sector) else {
+            panic!()
+        };
         t.set_location(fm_sector, Loc::Nm(NmLoc::new(1)));
         t.set_slot_state(NmLoc::new(1), SlotState::Flat);
         assert_eq!(t.free_fm_locations(), vec![freed]);

@@ -295,7 +295,7 @@ mod tests {
         let mut x = xta();
         x.insert(fm_entry(0, 0)); // set 0
         x.insert(fm_entry(4, 1)); // set 0
-        // Touch 0 -> 4 becomes LRU.
+                                  // Touch 0 -> 4 becomes LRU.
         x.lookup_mut(SectorId::new(0)).unwrap();
         let victim = x.evict_lru(SectorId::new(8)).unwrap(); // set 0
         assert_eq!(victim.sector, SectorId::new(4));

@@ -178,10 +178,7 @@ impl Core {
         self.stats.miss_loads += 1;
         self.retire_completed();
         while self.outstanding.len() >= self.cfg.mshrs {
-            let (oldest_done, _) = self
-                .outstanding
-                .pop_front()
-                .expect("len checked non-zero");
+            let (oldest_done, _) = self.outstanding.pop_front().expect("len checked non-zero");
             self.stall_until(oldest_done);
         }
         self.outstanding.push_back((done, self.stats.instructions));

@@ -218,7 +218,9 @@ mod tests {
 
     #[test]
     fn error_messages_mention_the_field() {
-        assert!(DeviceConfigError::BadChannels(3).to_string().contains("channel"));
+        assert!(DeviceConfigError::BadChannels(3)
+            .to_string()
+            .contains("channel"));
         assert!(DeviceConfigError::ZeroBusWidth.to_string().contains("bus"));
     }
 }

@@ -187,7 +187,8 @@ impl DramDevice {
             AccessKind::Write => self.stats.writes += 1,
         }
         self.stats.bytes_by_class[a.class.index()] += u64::from(a.bytes);
-        self.energy.add_burst(u64::from(a.bytes), self.cfg.rw_fj_per_bit);
+        self.energy
+            .add_burst(u64::from(a.bytes), self.cfg.rw_fj_per_bit);
 
         done
     }
@@ -239,7 +240,10 @@ mod tests {
         let t2 = read_at(&mut dev, 64, t1); // same row -> hit
         let miss_latency = t1 - Cycle::ZERO;
         let hit_latency = t2 - t1;
-        assert!(hit_latency < miss_latency, "{hit_latency} !< {miss_latency}");
+        assert!(
+            hit_latency < miss_latency,
+            "{hit_latency} !< {miss_latency}"
+        );
         assert_eq!(dev.stats().row_hits, 1);
         assert_eq!(dev.stats().activations, 1);
     }
@@ -247,8 +251,7 @@ mod tests {
     #[test]
     fn row_conflict_pays_precharge() {
         let cfg = DeviceConfig::ddr4_far_memory();
-        let row_stride =
-            cfg.row_bytes * u64::from(cfg.banks_per_channel) * u64::from(cfg.channels);
+        let row_stride = cfg.row_bytes * u64::from(cfg.banks_per_channel) * u64::from(cfg.channels);
         let mut dev = DramDevice::new(cfg);
         let t1 = read_at(&mut dev, 0, Cycle::ZERO);
         // Same channel & bank, different row: conflict.
@@ -349,7 +352,14 @@ mod tests {
     #[test]
     fn burst_helper_moves_all_lines() {
         let mut dev = DramDevice::new(DeviceConfig::ddr4_far_memory());
-        let done = dev.burst(0, 256, 8, AccessKind::Write, TrafficClass::Migration, Cycle::ZERO);
+        let done = dev.burst(
+            0,
+            256,
+            8,
+            AccessKind::Write,
+            TrafficClass::Migration,
+            Cycle::ZERO,
+        );
         assert_eq!(dev.stats().accesses, 8);
         assert_eq!(dev.stats().bytes(TrafficClass::Migration), 2048);
         assert!(done > Cycle::ZERO);

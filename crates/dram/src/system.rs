@@ -61,7 +61,8 @@ impl DramSystem {
         class: TrafficClass,
         at: Cycle,
     ) -> Cycle {
-        self.device_mut(side).burst(addr, bytes, count, kind, class, at)
+        self.device_mut(side)
+            .burst(addr, bytes, count, kind, class, at)
     }
 
     /// The device on `side`.

@@ -40,7 +40,10 @@ impl fmt::Display for GeometryError {
                 write!(f, "sector size {sector} is smaller than line size {line}")
             }
             GeometryError::TooManyLinesPerSector(n) => {
-                write!(f, "{n} lines per sector exceeds the 64-line bit-vector limit")
+                write!(
+                    f,
+                    "{n} lines per sector exceeds the 64-line bit-vector limit"
+                )
             }
         }
     }
@@ -213,7 +216,10 @@ mod tests {
 
     #[test]
     fn rejects_non_power_of_two() {
-        assert_eq!(Geometry::new(100, 2048), Err(GeometryError::BadLineSize(100)));
+        assert_eq!(
+            Geometry::new(100, 2048),
+            Err(GeometryError::BadLineSize(100))
+        );
         assert_eq!(
             Geometry::new(64, 3000),
             Err(GeometryError::BadSectorSize(3000))

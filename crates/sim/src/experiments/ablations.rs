@@ -22,7 +22,11 @@ use crate::scale::{NmRatio, ScaledSystem};
 
 use super::workload_set;
 
-fn run_custom(cfg: &EvalConfig, h2: Hybrid2Config, spec: &'static workloads::WorkloadSpec) -> RunResult {
+fn run_custom(
+    cfg: &EvalConfig,
+    h2: Hybrid2Config,
+    spec: &'static workloads::WorkloadSpec,
+) -> RunResult {
     run_custom_hinted(cfg, h2, spec, false)
 }
 
@@ -65,7 +69,11 @@ pub fn ablation_budget_period(cfg: &EvalConfig, smoke: bool) -> Vec<Report> {
     let specs = workload_set(smoke);
     let mut report = Report::new(
         "Ablation — FM-access budget reset period (§3.7.3; paper: 100 K cycles)",
-        vec!["reset period (cycles)", "avg migrations/run", "avg cycles (norm to 100K)"],
+        vec![
+            "reset period (cycles)",
+            "avg migrations/run",
+            "avg cycles (norm to 100K)",
+        ],
     );
     let mut results: Vec<(u64, f64, f64)> = Vec::new();
     for period in [10_000u64, 100_000, 1_000_000] {
@@ -78,7 +86,11 @@ pub fn ablation_budget_period(cfg: &EvalConfig, smoke: bool) -> Vec<Report> {
             migs += r.stats.moved_into_nm as f64;
             cycles += r.cycles as f64;
         }
-        results.push((period, migs / specs.len() as f64, cycles / specs.len() as f64));
+        results.push((
+            period,
+            migs / specs.len() as f64,
+            cycles / specs.len() as f64,
+        ));
     }
     let ref_cycles = results
         .iter()
@@ -86,11 +98,7 @@ pub fn ablation_budget_period(cfg: &EvalConfig, smoke: bool) -> Vec<Report> {
         .map(|r| r.2)
         .unwrap_or(1.0);
     for (period, migs, cycles) in results {
-        report.push_row(vec![
-            period.to_string(),
-            f2(migs),
-            f2(cycles / ref_cycles),
-        ]);
+        report.push_row(vec![period.to_string(), f2(migs), f2(cycles / ref_cycles)]);
     }
     report.push_note("longer periods admit more migration bandwidth per phase");
     vec![report]
@@ -101,7 +109,11 @@ pub fn ablation_stack_window(cfg: &EvalConfig, smoke: bool) -> Vec<Report> {
     let specs = workload_set(smoke);
     let mut report = Report::new(
         "Ablation — Free-FM-Stack on-chip window (§3.3; paper keeps the top entries on-chip)",
-        vec!["on-chip entries", "metadata writes/run", "NM metadata bytes/run"],
+        vec![
+            "on-chip entries",
+            "metadata writes/run",
+            "NM metadata bytes/run",
+        ],
     );
     for window in [0usize, 64, 4096] {
         let mut h2 = base_config(cfg);

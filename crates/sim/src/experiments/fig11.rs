@@ -44,11 +44,13 @@ pub fn fig11_design_space(cfg: &EvalConfig, smoke: bool) -> Vec<Report> {
     let points = design_points();
     let kinds: Vec<SchemeKind> = points
         .iter()
-        .map(|&(cache_bytes_paper, sector, line)| SchemeKind::Hybrid2Config {
-            cache_bytes_paper,
-            sector,
-            line,
-        })
+        .map(
+            |&(cache_bytes_paper, sector, line)| SchemeKind::Hybrid2Config {
+                cache_bytes_paper,
+                sector,
+                line,
+            },
+        )
         .collect();
     let specs = workload_set(smoke);
     let m = Matrix::run(&kinds, &specs, NmRatio::OneGb, cfg);

@@ -30,7 +30,13 @@ fn render(m: &Matrix, sub: usize) -> Report {
         vec!["scheme", "High", "Medium", "Low", "All"],
     );
     for s in m.class_summaries(Matrix::speedup) {
-        report.push_row(vec![s.label, f3(s.high), f3(s.medium), f3(s.low), f3(s.all)]);
+        report.push_row(vec![
+            s.label,
+            f3(s.high),
+            f3(s.medium),
+            f3(s.low),
+            f3(s.all),
+        ]);
     }
     report.push_note(format!(
         "migration schemes offer {:.1}% more main memory than caches at this ratio",

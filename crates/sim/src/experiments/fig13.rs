@@ -12,7 +12,10 @@ pub fn fig13_per_benchmark(m: &Matrix) -> Report {
     let mut header = vec!["benchmark".to_owned(), "class".to_owned()];
     header.extend(m.schemes.iter().map(|s| s.label.clone()));
     let mut report = Report {
-        title: format!("Figure 13 — per-benchmark speedup over baseline, NM = {}", m.ratio.label()),
+        title: format!(
+            "Figure 13 — per-benchmark speedup over baseline, NM = {}",
+            m.ratio.label()
+        ),
         header,
         rows: Vec::new(),
         notes: Vec::new(),

@@ -32,7 +32,9 @@ pub fn fig14_breakdown(cfg: &EvalConfig, smoke: bool) -> Vec<Report> {
             f3(m.class_geomean(s, None, Matrix::speedup)),
         ]);
     }
-    report.push_note("paper: Cache-Only 1.43, Migr-All 1.41, Migr-None 1.39, No-Remap 1.58, HYBRID2 1.54");
+    report.push_note(
+        "paper: Cache-Only 1.43, Migr-All 1.41, Migr-None 1.39, No-Remap 1.58, HYBRID2 1.54",
+    );
     vec![report]
 }
 

@@ -15,11 +15,22 @@
 use crate::report::{f3, pct, Report};
 use crate::Matrix;
 
-fn by_class(m: &Matrix, title: String, metric: fn(&Matrix, usize, usize) -> f64, as_pct: bool) -> Report {
+fn by_class(
+    m: &Matrix,
+    title: String,
+    metric: fn(&Matrix, usize, usize) -> f64,
+    as_pct: bool,
+) -> Report {
     let mut report = Report::new(title, vec!["scheme", "High", "Medium", "Low", "All"]);
     for s in m.class_summaries(metric) {
         let fmt = |v: f64| if as_pct { pct(v) } else { f3(v) };
-        report.push_row(vec![s.label, fmt(s.high), fmt(s.medium), fmt(s.low), fmt(s.all)]);
+        report.push_row(vec![
+            s.label,
+            fmt(s.high),
+            fmt(s.medium),
+            fmt(s.low),
+            fmt(s.all),
+        ]);
     }
     report
 }
@@ -28,7 +39,10 @@ fn by_class(m: &Matrix, title: String, metric: fn(&Matrix, usize, usize) -> f64,
 pub fn fig15_nm_served(m: &Matrix) -> Report {
     let mut r = by_class(
         m,
-        format!("Figure 15 — requests served from NM, NM = {}", m.ratio.label()),
+        format!(
+            "Figure 15 — requests served from NM, NM = {}",
+            m.ratio.label()
+        ),
         Matrix::nm_served,
         true,
     );
@@ -40,7 +54,10 @@ pub fn fig15_nm_served(m: &Matrix) -> Report {
 pub fn fig16_fm_traffic(m: &Matrix) -> Report {
     let mut r = by_class(
         m,
-        format!("Figure 16 — FM traffic normalized to baseline, NM = {}", m.ratio.label()),
+        format!(
+            "Figure 16 — FM traffic normalized to baseline, NM = {}",
+            m.ratio.label()
+        ),
         Matrix::fm_traffic_norm,
         false,
     );
@@ -52,7 +69,10 @@ pub fn fig16_fm_traffic(m: &Matrix) -> Report {
 pub fn fig17_nm_traffic(m: &Matrix) -> Report {
     let mut r = by_class(
         m,
-        format!("Figure 17 — NM traffic normalized to baseline, NM = {}", m.ratio.label()),
+        format!(
+            "Figure 17 — NM traffic normalized to baseline, NM = {}",
+            m.ratio.label()
+        ),
         Matrix::nm_traffic_norm,
         false,
     );
@@ -64,7 +84,10 @@ pub fn fig17_nm_traffic(m: &Matrix) -> Report {
 pub fn fig18_energy(m: &Matrix) -> Report {
     let mut r = by_class(
         m,
-        format!("Figure 18 — dynamic memory energy normalized to baseline, NM = {}", m.ratio.label()),
+        format!(
+            "Figure 18 — dynamic memory energy normalized to baseline, NM = {}",
+            m.ratio.label()
+        ),
         Matrix::energy_norm,
         false,
     );

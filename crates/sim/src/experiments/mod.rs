@@ -48,8 +48,22 @@ pub fn main_matrix(ratio: NmRatio, cfg: &EvalConfig, smoke: bool) -> Matrix {
 
 /// Experiment identifiers accepted by the `reproduce` binary.
 pub const ALL_EXPERIMENTS: [&str; 16] = [
-    "fig01", "fig02", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
-    "table2", "abl-budget", "abl-stack", "abl-free", "all", "evalsuite",
+    "fig01",
+    "fig02",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "table2",
+    "abl-budget",
+    "abl-stack",
+    "abl-free",
+    "all",
+    "evalsuite",
 ];
 
 /// Dispatches an experiment by id. `evalsuite` runs the shared 1:16 matrix
@@ -103,8 +117,16 @@ pub fn run_by_id(id: &str, cfg: &EvalConfig, smoke: bool) -> Vec<Report> {
         "all" => {
             let mut out = Vec::new();
             for id in [
-                "table2", "fig01", "fig02", "fig11", "fig12", "fig14", "evalsuite",
-                "abl-budget", "abl-stack", "abl-free",
+                "table2",
+                "fig01",
+                "fig02",
+                "fig11",
+                "fig12",
+                "fig14",
+                "evalsuite",
+                "abl-budget",
+                "abl-stack",
+                "abl-free",
             ] {
                 out.extend(run_by_id(id, cfg, smoke));
             }

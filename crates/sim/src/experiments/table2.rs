@@ -75,7 +75,9 @@ mod tests {
         assert_eq!(rows.len(), 3);
         // lbm (High) must measure much more intense than xalanc (Low).
         let mpki = |name: &str| -> f64 {
-            rows.iter().find(|r| r[0] == name).unwrap()[4].parse().unwrap()
+            rows.iter().find(|r| r[0] == name).unwrap()[4]
+                .parse()
+                .unwrap()
         };
         assert!(
             mpki("lbm") > 5.0 * mpki("xalanc").max(0.01),

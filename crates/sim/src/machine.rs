@@ -179,12 +179,7 @@ impl Machine {
     }
 
     fn result(&self) -> RunResult {
-        let cycles = self
-            .cores
-            .iter()
-            .map(|c| c.now().raw())
-            .max()
-            .unwrap_or(0);
+        let cycles = self.cores.iter().map(|c| c.now().raw()).max().unwrap_or(0);
         let instructions: u64 = self.cores.iter().map(|c| c.retired()).sum();
         let hstats = self.hierarchy.stats();
         RunResult {

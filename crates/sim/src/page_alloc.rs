@@ -132,11 +132,7 @@ mod tests {
             a.translate(0, VAddr::new(v * PAGE));
         }
         let nm_limit = (1u64 << 20) / PAGE; // first 1/17 of frames
-        let in_nm = a
-            .map
-            .values()
-            .filter(|&&p| p < nm_limit)
-            .count() as f64;
+        let in_nm = a.map.values().filter(|&&p| p < nm_limit).count() as f64;
         let frac = in_nm / 1000.0;
         assert!((frac - 1.0 / 17.0).abs() < 0.03, "NM fraction {frac}");
     }

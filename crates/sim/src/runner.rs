@@ -126,10 +126,9 @@ pub fn build_scheme(kind: SchemeKind, sys: &ScaledSystem) -> Box<dyn MemorySchem
             sys.fm_bytes,
             sys.remap_cache_bytes,
         ))),
-        SchemeKind::Tagless => Box::new(Tagless::new(TaglessConfig::new(
-            sys.nm_bytes,
-            sys.fm_bytes,
-        ))),
+        SchemeKind::Tagless => {
+            Box::new(Tagless::new(TaglessConfig::new(sys.nm_bytes, sys.fm_bytes)))
+        }
         SchemeKind::Dfc => Box::new(Dfc::new(DfcConfig::paper_best(
             sys.nm_bytes,
             sys.fm_bytes,
@@ -147,8 +146,14 @@ pub fn build_scheme(kind: SchemeKind, sys: &ScaledSystem) -> Box<dyn MemorySchem
             assoc: 16,
         })),
         SchemeKind::Hybrid2 => Box::new(
-            Dcmc::new(hybrid2_config(sys, sys.cache_bytes, 2048, 256, Variant::Full))
-                .expect("paper-best Hybrid2 config is valid"),
+            Dcmc::new(hybrid2_config(
+                sys,
+                sys.cache_bytes,
+                2048,
+                256,
+                Variant::Full,
+            ))
+            .expect("paper-best Hybrid2 config is valid"),
         ),
         SchemeKind::Hybrid2Variant(variant) => Box::new(
             Dcmc::new(hybrid2_config(sys, sys.cache_bytes, 2048, 256, variant))
@@ -204,12 +209,7 @@ pub fn scheme_label(kind: SchemeKind) -> String {
             cache_bytes_paper,
             sector,
             line,
-        } => format!(
-            "{}MB/{}K/{}B",
-            cache_bytes_paper >> 20,
-            sector >> 10,
-            line
-        ),
+        } => format!("{}MB/{}K/{}B", cache_bytes_paper >> 20, sector >> 10, line),
     }
 }
 

@@ -462,8 +462,14 @@ mod tests {
     #[test]
     fn kind_counts_match_paper() {
         // 21 SPEC (MP) + 9 NAS (MT).
-        let mt = ALL.iter().filter(|s| s.kind == WorkloadKind::MultiThreaded).count();
-        let mp = ALL.iter().filter(|s| s.kind == WorkloadKind::MultiProgrammed).count();
+        let mt = ALL
+            .iter()
+            .filter(|s| s.kind == WorkloadKind::MultiThreaded)
+            .count();
+        let mp = ALL
+            .iter()
+            .filter(|s| s.kind == WorkloadKind::MultiProgrammed)
+            .count();
         assert_eq!(mt, 9);
         assert_eq!(mp, 21);
     }

@@ -94,7 +94,15 @@ impl Workload {
                     // Private space per instance; the runner maps each
                     // core's virtual space to disjoint physical pages.
                     let part = (total / cores as u64).max(64 * 1024);
-                    TraceGen::new(spec.pattern, spec.mem_every, spec.write_pct, 0, part, 0, rng)
+                    TraceGen::new(
+                        spec.pattern,
+                        spec.mem_every,
+                        spec.write_pct,
+                        0,
+                        part,
+                        0,
+                        rng,
+                    )
                 }
             })
             .collect();

@@ -129,7 +129,10 @@ impl TraceGen {
         shared_bytes: u64,
         rng: SplitMix64,
     ) -> Self {
-        assert!(size >= 4096, "trace region must be at least 4 KB, got {size}");
+        assert!(
+            size >= 4096,
+            "trace region must be at least 4 KB, got {size}"
+        );
         TraceGen {
             pattern,
             mem_every: mem_every.max(1),
@@ -213,9 +216,7 @@ impl TraceGen {
                 (self.tile_start + self.tile_walked) % size
             }
             PatternSpec::Random => self.rng.gen_range(size / 8) * 8,
-            PatternSpec::PointerChase { hot_bp, hot_pct } => {
-                self.hot_jump(hot_bp, hot_pct, 0)
-            }
+            PatternSpec::PointerChase { hot_bp, hot_pct } => self.hot_jump(hot_bp, hot_pct, 0),
             PatternSpec::Hotspot { hot_bp, hot_pct } => {
                 let hot = self.region_of_bp(hot_bp);
                 if self.rng.chance(u64::from(hot_pct), 100) {
@@ -298,7 +299,10 @@ mod tests {
         for w in ops.windows(2) {
             let a = w[0].addr.raw();
             let b = w[1].addr.raw();
-            assert!(b == a + 8 || b == 0, "stream must advance by stride or wrap");
+            assert!(
+                b == a + 8 || b == 0,
+                "stream must advance by stride or wrap"
+            );
         }
     }
 
@@ -454,9 +458,15 @@ mod tests {
             },
             size,
         );
-        let first: Vec<u64> = collect(&mut g, 4_000).iter().map(|o| o.addr.raw()).collect();
+        let first: Vec<u64> = collect(&mut g, 4_000)
+            .iter()
+            .map(|o| o.addr.raw())
+            .collect();
         let _skip = collect(&mut g, 2_000);
-        let second: Vec<u64> = collect(&mut g, 4_000).iter().map(|o| o.addr.raw()).collect();
+        let second: Vec<u64> = collect(&mut g, 4_000)
+            .iter()
+            .map(|o| o.addr.raw())
+            .collect();
         let median = |mut v: Vec<u64>| {
             v.sort_unstable();
             v[v.len() / 2]
@@ -497,8 +507,7 @@ mod tests {
             SplitMix64::new(13),
         );
         let ops = collect(&mut g, 50_000);
-        let mean_gap: f64 =
-            ops.iter().map(|o| f64::from(o.gap)).sum::<f64>() / ops.len() as f64;
+        let mean_gap: f64 = ops.iter().map(|o| f64::from(o.gap)).sum::<f64>() / ops.len() as f64;
         assert!((mean_gap - 39.0).abs() < 1.5, "mean gap was {mean_gap}");
     }
 
@@ -508,9 +517,9 @@ mod tests {
             PatternSpec::Random,
             5,
             0,
-            1 << 20,     // own region above 1 MB
-            1 << 20,     // 1 MB own
-            64 * 1024,   // 64 KB shared at the bottom
+            1 << 20,   // own region above 1 MB
+            1 << 20,   // 1 MB own
+            64 * 1024, // 64 KB shared at the bottom
             SplitMix64::new(17),
         );
         let ops = collect(&mut g, 20_000);
@@ -522,28 +531,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least 4 KB")]
     fn tiny_region_rejected() {
-        let _ = TraceGen::new(
-            PatternSpec::Random,
-            5,
-            0,
-            0,
-            1024,
-            0,
-            SplitMix64::new(1),
-        );
+        let _ = TraceGen::new(PatternSpec::Random, 5, 0, 0, 1024, 0, SplitMix64::new(1));
     }
 
     #[test]
     fn mem_every_one_means_zero_gaps() {
-        let mut g = TraceGen::new(
-            PatternSpec::Random,
-            1,
-            0,
-            0,
-            1 << 20,
-            0,
-            SplitMix64::new(1),
-        );
+        let mut g = TraceGen::new(PatternSpec::Random, 1, 0, 0, 1 << 20, 0, SplitMix64::new(1));
         for op in collect(&mut g, 100) {
             assert_eq!(op.gap, 0);
         }
@@ -559,7 +552,11 @@ mod proptests {
         prop_oneof![
             (3u32..10).prop_map(|p| PatternSpec::Stream { stride: 1 << p }),
             ((3u32..10), (50u32..2000), (1u8..4)).prop_map(|(p, t, r)| {
-                PatternSpec::TiledStream { stride: 1 << p, tile_bp: t, repeats: r }
+                PatternSpec::TiledStream {
+                    stride: 1 << p,
+                    tile_bp: t,
+                    repeats: r,
+                }
             }),
             Just(PatternSpec::Random),
             ((50u32..5000), (0u8..=100)).prop_map(|(h, p)| PatternSpec::PointerChase {

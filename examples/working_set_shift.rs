@@ -30,7 +30,10 @@ fn main() {
     println!();
 
     let base = run_one(SchemeKind::Baseline, spec, NmRatio::OneGb, &cfg);
-    println!("{:<12} {:>8} {:>12} {:>14}", "scheme", "speedup", "NM-served", "moved into NM");
+    println!(
+        "{:<12} {:>8} {:>12} {:>14}",
+        "scheme", "speedup", "NM-served", "moved into NM"
+    );
     for kind in [
         SchemeKind::MemPod,
         SchemeKind::Tagless,

@@ -97,6 +97,154 @@ fn migrate_all_stress_exercises_fig8_allocator() {
     );
 }
 
+mod free_stack_properties {
+    use hybrid2::controller::FreeFmStack;
+    use hybrid2::types::FmLoc;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Model check against a plain Vec: any push/pop sequence preserves
+        /// LIFO order, exact lengths, the capacity bound, and the on-chip
+        /// window rule for NM metadata traffic.
+        #[test]
+        fn behaves_like_a_bounded_vec(
+            ops in proptest::collection::vec((any::<bool>(), 0u64..1024), 1..400),
+            capacity in 1u64..64,
+            onchip in 0usize..8,
+        ) {
+            let mut s = FreeFmStack::new(capacity, onchip);
+            let mut model: Vec<FmLoc> = Vec::new();
+            for (is_push, loc) in ops {
+                if is_push && (model.len() as u64) < capacity {
+                    let effect = s.push(FmLoc::new(loc));
+                    prop_assert_eq!(effect.depth, model.len() as u64);
+                    prop_assert_eq!(effect.touches_nm, model.len() + 1 > onchip);
+                    model.push(FmLoc::new(loc));
+                } else if !is_push {
+                    match (s.pop(), model.pop()) {
+                        (Some((got, effect)), Some(want)) => {
+                            prop_assert_eq!(got, want);
+                            prop_assert_eq!(effect.depth, model.len() as u64);
+                            prop_assert_eq!(effect.touches_nm, model.len() + 1 > onchip);
+                        }
+                        (None, None) => {}
+                        (got, want) => prop_assert!(
+                            false, "stack/model diverged: {:?} vs {:?}", got, want
+                        ),
+                    }
+                }
+                prop_assert_eq!(s.len(), model.len() as u64);
+                prop_assert_eq!(s.is_empty(), model.is_empty());
+                prop_assert!(s.len() <= capacity, "capacity bound violated");
+                prop_assert_eq!(s.as_slice(), model.as_slice());
+            }
+        }
+
+        /// Draining a full stack returns every pushed location exactly once,
+        /// in reverse push order (free FM locations are never duplicated or
+        /// lost — losing one would leak far-memory capacity forever).
+        #[test]
+        fn drain_is_a_permutation_in_reverse(n in 1u64..128, onchip in 0usize..12) {
+            let mut s = FreeFmStack::new(n, onchip);
+            for i in 0..n {
+                s.push(FmLoc::new(i));
+            }
+            let mut seen = Vec::new();
+            while let Some((loc, _)) = s.pop() {
+                seen.push(loc.index() as u64);
+            }
+            let want: Vec<u64> = (0..n).rev().collect();
+            prop_assert_eq!(seen, want);
+            prop_assert!(s.is_empty());
+        }
+    }
+}
+
+mod remap_properties {
+    use hybrid2::controller::{Hybrid2Config, Loc, RemapTables, SlotState};
+    use hybrid2::types::{NmLoc, SectorId};
+    use proptest::prelude::*;
+
+    /// Applies one randomly-chosen *legal* transition to the tables,
+    /// mirroring what the DCMC does on migration (FM sector adopted into a
+    /// pool slot) and swap-out (NM-homed sector exiled to a free FM
+    /// location). Illegal choices (no pool slot free, no FM vacancy) are
+    /// skipped, exactly as the controller would refuse them. Returns the
+    /// change this step causes to the cache-pool slot count (-1 migrate,
+    /// +1 swap-out, 0 refused).
+    fn step(t: &mut RemapTables, pick: u64) -> i64 {
+        let l = *t.layout();
+        if pick.is_multiple_of(2) {
+            // Migrate: home some FM-resident sector in a cache-pool slot.
+            let Some(pool_slot) = (0..l.slots)
+                .map(NmLoc::new)
+                .find(|s| t.slot_state(*s) == SlotState::CachePool && t.sector_at(*s).is_none())
+            else {
+                return 0;
+            };
+            let candidate = (0..l.flat_sectors)
+                .map(|i| SectorId::new(i.wrapping_add(pick) % l.flat_sectors))
+                .find(|s| !t.location(*s).is_nm());
+            let Some(sector) = candidate else { return 0 };
+            t.set_location(sector, Loc::Nm(pool_slot));
+            t.set_slot_state(pool_slot, SlotState::Flat);
+            -1
+        } else {
+            // Swap out: exile an NM-homed sector to a vacated FM location.
+            let Some(free_fm) = t.free_fm_locations().into_iter().next() else {
+                return 0;
+            };
+            let candidate = (0..l.flat_sectors)
+                .map(|i| SectorId::new(i.wrapping_add(pick) % l.flat_sectors))
+                .find(|s| t.location(*s).is_nm());
+            let Some(sector) = candidate else { return 0 };
+            let Loc::Nm(slot) = t.location(sector) else {
+                unreachable!()
+            };
+            t.set_location(sector, Loc::Fm(free_fm));
+            t.set_sector_at(slot, None);
+            t.set_slot_state(slot, SlotState::CachePool);
+            1
+        }
+    }
+
+    proptest! {
+        /// Round-trip and injectivity under random migration sequences: the
+        /// remap stays a bijection onto homes, the inverted table answers
+        /// the reverse lookup for every NM-homed sector, and the cache-pool
+        /// slot count always matches the ledger of migrations minus
+        /// swap-outs (slots are neither leaked nor double-counted).
+        #[test]
+        fn migration_sequences_preserve_bijection(picks in proptest::collection::vec(any::<u64>(), 1..60)) {
+            let layout = Hybrid2Config::scaled_down(1024)
+                .unwrap()
+                .validate()
+                .unwrap();
+            let mut t = RemapTables::new(layout);
+            let mut expected_pool = t.cache_pool_size() as i64;
+            for pick in picks {
+                expected_pool += step(&mut t, pick);
+                t.check_invariants().unwrap();
+                prop_assert_eq!(t.cache_pool_size() as i64, expected_pool);
+            }
+            // Explicit round-trip: location() and sector_at() are inverses
+            // on the NM side, and FM homes never collide.
+            let l = *t.layout();
+            let mut fm_used = vec![false; l.fm_sectors as usize];
+            for i in 0..l.flat_sectors {
+                let sector = SectorId::new(i);
+                match t.location(sector) {
+                    Loc::Nm(slot) => prop_assert_eq!(t.sector_at(slot), Some(sector)),
+                    Loc::Fm(f) => {
+                        prop_assert!(!fm_used[f.index()], "FM home collision");
+                        fm_used[f.index()] = true;
+                    }
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn clone_runs_identically() {
     // Dcmc is Clone: a forked controller must evolve identically under the

@@ -1,0 +1,64 @@
+//! Golden determinism regression: pins the exact simulation outcome of one
+//! (scheme, workload, seed) tuple.
+//!
+//! The whole reproduction is built on the promise that a run is a pure
+//! function of its configuration — the paper's figures, the experiment
+//! matrix's caching, and every future performance optimisation rely on it.
+//! This test freezes one `Hybrid2` run; if an intentional semantic change
+//! moves these numbers, update the constants in the same PR and say why in
+//! the commit message. An *unintentional* change here means a perf PR
+//! silently altered simulation semantics.
+
+use hybrid2::prelude::*;
+
+const GOLDEN_WORKLOAD: &str = "lbm";
+const GOLDEN_SEED: u64 = 2020;
+
+/// Pinned digest of the run (instructions, cycles, NM-served ‱).
+const GOLDEN_INSTRUCTIONS: u64 = 1_600_012;
+const GOLDEN_CYCLES: u64 = 680_909;
+/// `nm_served` in basis points, rounded: exact in fixed point so the pin
+/// is byte-stable without comparing floats.
+const GOLDEN_NM_SERVED_BP: u64 = 8_806;
+
+fn golden_cfg() -> EvalConfig {
+    EvalConfig {
+        scale_den: 1024,
+        instrs_per_core: 200_000,
+        seed: GOLDEN_SEED,
+        threads: 1,
+    }
+}
+
+fn digest(r: &hybrid2::RunResult) -> (u64, u64, u64) {
+    (
+        r.instructions,
+        r.cycles,
+        (r.nm_served * 10_000.0).round() as u64,
+    )
+}
+
+#[test]
+fn hybrid2_lbm_digest_is_stable() {
+    let spec = catalog::by_name(GOLDEN_WORKLOAD).unwrap();
+    let r = run_one(SchemeKind::Hybrid2, spec, NmRatio::OneGb, &golden_cfg());
+    let (instructions, cycles, nm_served_bp) = digest(&r);
+    assert_eq!(
+        (instructions, cycles, nm_served_bp),
+        (GOLDEN_INSTRUCTIONS, GOLDEN_CYCLES, GOLDEN_NM_SERVED_BP),
+        "golden digest moved: instructions={instructions} cycles={cycles} \
+         nm_served_bp={nm_served_bp} — if this change is intentional, \
+         update the GOLDEN_* constants and explain the semantic change"
+    );
+}
+
+#[test]
+fn back_to_back_runs_are_identical() {
+    let spec = catalog::by_name(GOLDEN_WORKLOAD).unwrap();
+    let a = run_one(SchemeKind::Hybrid2, spec, NmRatio::OneGb, &golden_cfg());
+    let b = run_one(SchemeKind::Hybrid2, spec, NmRatio::OneGb, &golden_cfg());
+    assert_eq!(digest(&a), digest(&b));
+    assert_eq!(a.fm_traffic, b.fm_traffic);
+    assert_eq!(a.nm_traffic, b.nm_traffic);
+    assert_eq!(a.energy_mj.to_bits(), b.energy_mj.to_bits());
+}

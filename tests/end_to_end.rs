@@ -27,7 +27,11 @@ fn every_scheme_completes_a_full_run() {
             (0.0..=1.0).contains(&r.nm_served),
             "{kind:?} NM-served fraction out of range"
         );
-        assert!(r.ipc() > 0.0 && r.ipc() <= 32.0, "{kind:?} IPC {:.2}", r.ipc());
+        assert!(
+            r.ipc() > 0.0 && r.ipc() <= 32.0,
+            "{kind:?} IPC {:.2}",
+            r.ipc()
+        );
     }
 }
 

@@ -87,7 +87,10 @@ fn run_by_id_rejects_unknown_gracefully() {
 fn design_space_respects_xta_budget() {
     // Static part of fig11: the enumeration itself.
     let points = experiments::fig11_design_points();
-    assert!(points.contains(&(64 << 20, 2048, 256)), "paper best in space");
+    assert!(
+        points.contains(&(64 << 20, 2048, 256)),
+        "paper best in space"
+    );
     for &(cache, sector, line) in &points {
         let mut cfg = Hybrid2Config::paper_default();
         cfg.cache_bytes = cache;

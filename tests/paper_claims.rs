@@ -46,7 +46,10 @@ fn overfetch_pathology_reproduced() {
     let c = cfg();
     let tagless = speedup(SchemeKind::Tagless, "omnetpp", &c);
     let h2 = speedup(SchemeKind::Hybrid2, "omnetpp", &c);
-    assert!(tagless < 0.8, "Tagless on omnetpp should crater, got {tagless:.2}");
+    assert!(
+        tagless < 0.8,
+        "Tagless on omnetpp should crater, got {tagless:.2}"
+    );
     assert!(h2 > 2.0 * tagless, "Hybrid2 must not crater like Tagless");
 }
 

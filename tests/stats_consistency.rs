@@ -45,7 +45,10 @@ fn traffic_is_conserved() {
     let spec = catalog::by_name("lbm").unwrap();
     for kind in SchemeKind::MAIN {
         let r = run_one(kind, spec, NmRatio::OneGb, &c);
-        assert!(r.fm_traffic + r.nm_traffic > 0, "{kind:?}: no traffic at all");
+        assert!(
+            r.fm_traffic + r.nm_traffic > 0,
+            "{kind:?}: no traffic at all"
+        );
         if r.nm_served > 0.05 {
             assert!(r.nm_traffic > 0, "{kind:?}: NM-served without NM bytes");
         }

@@ -1,0 +1,239 @@
+//! A tiny, offline, API-compatible stand-in for the subset of
+//! [criterion.rs](https://github.com/bheisler/criterion.rs) that this
+//! workspace's bench targets use.
+//!
+//! The build container has no network access to crates.io, so the real
+//! criterion cannot be fetched; this shim keeps all ten `[[bench]]`
+//! targets compiling and producing useful wall-clock numbers. It
+//! implements:
+//!
+//! * [`Criterion`] with `default()`, `sample_size`, `bench_function` and
+//!   `benchmark_group`,
+//! * [`Bencher::iter`] with warm-up plus per-sample timing,
+//! * the [`criterion_group!`] / [`criterion_main!`] macros (both the
+//!   simple and the `name/config/targets` forms),
+//! * [`black_box`].
+//!
+//! Results print one line per benchmark (median / mean / min over the
+//! sample set). If the `CRITERION_SHIM_JSON` environment variable names a
+//! file, a JSON line per benchmark is appended to it so harness scripts
+//! can capture baselines without parsing human output.
+//!
+//! Swapping the real criterion back in is a one-line change in the
+//! workspace manifest; no bench source needs to change.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimising away a value whose computation is
+/// being timed. Identity function with an optimisation barrier.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark driver: collects samples and reports statistics.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples to collect per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark: a warm-up pass, then `sample_size` timed samples.
+    pub fn bench_function<S, F>(&mut self, id: S, mut f: F) -> &mut Self
+    where
+        S: Into<String>,
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&id.into(), self.sample_size, &mut f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark inside the group (id is prefixed with the group name).
+    pub fn bench_function<S, F>(&mut self, id: S, mut f: F) -> &mut Self
+    where
+        S: Into<String>,
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_bench(&full, self.sample_size, &mut f);
+        self
+    }
+
+    /// Finishes the group. (The real criterion emits summary plots here.)
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] times the routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` back-to-back executions of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(id: &str, samples: usize, f: &mut F) {
+    // Warm-up pass (also sizes caches, page tables, lazy statics).
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+
+    let mut ns: Vec<u128> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        ns.push(b.elapsed.as_nanos().max(1) / u128::from(b.iters.max(1)));
+    }
+    ns.sort_unstable();
+    let median = ns[ns.len() / 2];
+    let min = ns[0];
+    let mean = ns.iter().sum::<u128>() / ns.len() as u128;
+    println!(
+        "{id:<48} time: [median {} mean {} min {}] ({} samples)",
+        fmt_ns(median),
+        fmt_ns(mean),
+        fmt_ns(min),
+        ns.len()
+    );
+    if let Ok(path) = std::env::var("CRITERION_SHIM_JSON") {
+        if !path.is_empty() {
+            if let Ok(mut fh) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+            {
+                let escaped = id.replace('\\', "\\\\").replace('"', "\\\"");
+                let _ = writeln!(
+                    fh,
+                    "{{\"id\":\"{escaped}\",\"median_ns\":{median},\"mean_ns\":{mean},\"min_ns\":{min},\"samples\":{}}}",
+                    ns.len()
+                );
+            }
+        }
+    }
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+///
+/// Supports both the simple form `criterion_group!(benches, f, g)` and the
+/// full `name = …; config = …; targets = …` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $( $target:path ),+ $(,)*) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $( $target:path ),+ $(,)*) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $( $target ),+
+        }
+    };
+}
+
+/// Declares the `main` function running the listed benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ( $( $group:path ),+ $(,)* ) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_times_routines() {
+        let mut c = Criterion::default().sample_size(3);
+        c.bench_function("smoke", |b| b.iter(|| black_box(2u64 + 2)));
+        let mut g = c.benchmark_group("grp");
+        g.bench_function(format!("owned_{}", 1), |b| b.iter(|| black_box(1u64)));
+        g.finish();
+    }
+
+    criterion_group!(simple_form, noop_bench);
+    criterion_group! {
+        name = full_form;
+        config = Criterion::default().sample_size(2);
+        targets = noop_bench
+    }
+
+    fn noop_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| ()));
+    }
+
+    #[test]
+    fn group_macros_expand() {
+        simple_form();
+        full_form();
+    }
+}

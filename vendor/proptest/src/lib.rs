@@ -1,0 +1,375 @@
+//! A tiny, offline, API-compatible stand-in for the subset of
+//! [proptest](https://github.com/proptest-rs/proptest) that this
+//! workspace's property tests use.
+//!
+//! The build container has no network access to crates.io, so the real
+//! proptest cannot be fetched. This shim keeps every `proptest!` module in
+//! the workspace compiling and genuinely exercising properties: each test
+//! runs 256 cases drawn from a deterministic SplitMix64 stream seeded from
+//! the test's name, so failures are reproducible byte-for-byte across runs
+//! and platforms (the same reproducibility contract `sim_types::rng`
+//! gives the simulator).
+//!
+//! Differences from real proptest, by design:
+//!
+//! * no shrinking — a failing case panics with the ordinary assert message;
+//! * `prop_assert*` are plain `assert*` (panic instead of `Err`);
+//! * strategies sample directly instead of building value trees.
+//!
+//! Supported surface: integer range / range-inclusive strategies,
+//! `any::<T>()` for the primitive types used here, tuple strategies up to
+//! arity 5, [`collection::vec`], [`option::of`], [`Just`],
+//! [`Strategy::prop_map`], `prop_oneof!`, and the `proptest!` macro with
+//! `ident in strategy` arguments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Number of random cases each `proptest!` test executes.
+pub const NUM_CASES: u32 = 256;
+
+/// Deterministic RNG driving every strategy (SplitMix64).
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Creates an RNG whose stream depends only on `name`.
+    pub fn deterministic(name: &str) -> Self {
+        // FNV-1a over the test name, then a fixed tweak so an empty name
+        // still has a non-trivial state.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1_0000_0000_01b3);
+        }
+        TestRng(h ^ 0x9e37_79b9_7f4a_7c15)
+    }
+
+    /// Next raw 64-bit value (SplitMix64 step).
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        // Multiply-shift reduction; bias is irrelevant for test sampling.
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+}
+
+/// A source of random values of one type.
+///
+/// Object-safe so `prop_oneof!` can erase heterogeneous strategy types.
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms produced values with `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases this strategy (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (**self).sample(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Uniform choice among equally-weighted boxed strategies (`prop_oneof!`).
+pub struct OneOf<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> OneOf<T> {
+    /// Builds the union; `arms` must be non-empty.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf { arms }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].sample(rng)
+    }
+}
+
+macro_rules! int_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64) - (self.start as u64);
+                self.start + (rng.below(span) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u64) - (lo as u64);
+                if span == u64::MAX {
+                    rng.next_u64() as $t
+                } else {
+                    lo + (rng.below(span + 1) as $t)
+                }
+            }
+        }
+    )*};
+}
+int_strategies!(u8, u16, u32, u64, usize);
+
+/// Strategy for "any value of `T`" ([`any`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Produces arbitrary values of `T` (the shim supports the primitive types
+/// the workspace tests use).
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy<Value = T>,
+{
+    Any(std::marker::PhantomData)
+}
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! any_uint {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+any_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! tuple_strategies {
+    ($(($($s:ident $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategies! {
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+    (A 0, B 1, C 2, D 3, E 4);
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Produces vectors whose elements come from `element` and whose length
+    /// is uniform in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty vec length range");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies (`proptest::option`).
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// Strategy producing `Some` ~80% of the time (mirrors proptest's
+    /// Some-biased default).
+    pub struct OptionStrategy<S>(S);
+
+    /// Wraps `inner`'s values in `Option`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(5) < 4 {
+                Some(self.0.sample(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// The common imports: `proptest!`, `prop_assert*`, `prop_oneof!`,
+/// [`Strategy`], [`Just`], [`any`].
+pub mod prelude {
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    pub use crate::{Any, BoxedStrategy, Just, Strategy};
+}
+
+/// Asserts a condition inside a `proptest!` body (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a `proptest!` body (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a `proptest!` body (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, …) { body }`
+/// becomes a `#[test]` running [`NUM_CASES`](crate::NUM_CASES)
+/// deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let mut __rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..$crate::NUM_CASES {
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn determinism_per_name() {
+        let mut a = crate::TestRng::deterministic("x");
+        let mut b = crate::TestRng::deterministic("x");
+        let mut c = crate::TestRng::deterministic("y");
+        let (va, vb, vc) = (a.next_u64(), b.next_u64(), c.next_u64());
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    proptest! {
+        /// Ranges honour their bounds; tuples, vecs, options, maps compose.
+        #[test]
+        fn strategies_compose(
+            x in 3u32..10,
+            y in 0u8..=100,
+            v in crate::collection::vec((0u64..500, crate::option::of(0u64..5, ), any::<bool>()), 1..20),
+            z in prop_oneof![
+                (1u16..4).prop_map(|n| n * 2),
+                Just(7u16),
+            ],
+            w in any::<u64>(),
+        ) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y <= 100);
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            for (a, b, _flag) in &v {
+                prop_assert!(*a < 500);
+                if let Some(b) = b {
+                    prop_assert!(*b < 5);
+                }
+            }
+            prop_assert!(z == 7 || (z % 2 == 0 && (2..=6).contains(&z)));
+            let _ = w;
+        }
+    }
+}
