@@ -1,0 +1,38 @@
+//! End-to-end simulator throughput: one `run_one` per MAIN scheme at the
+//! smoke scale (8 cores, 1 M instructions/core, 1/1024 capacities).
+//!
+//! This is the number every perf PR is judged against: the wall-clock of
+//! the full per-op pipeline (trace generation → page translation → SRAM
+//! hierarchy → scheme → DRAM timing), not of any one structure. Captured
+//! to `BENCH_hotpath.json` via `CRITERION_SHIM_JSON`; mem-ops/sec is
+//! `mem_ops / median_time` with `mem_ops` printed at the end of the run
+//! (it is identical across schemes — the op stream depends only on the
+//! workload, seed and instruction target).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sim::{run_one, scheme_label, EvalConfig, NmRatio, SchemeKind};
+use workloads::catalog;
+
+fn e2e_throughput(c: &mut Criterion) {
+    let cfg = EvalConfig::smoke();
+    let spec = catalog::by_name("lbm").unwrap();
+    let mut group = c.benchmark_group("e2e");
+    group.sample_size(7);
+    for kind in SchemeKind::MAIN {
+        group.bench_function(format!("run_one/{}", scheme_label(kind)), |b| {
+            b.iter(|| run_one(kind, spec, NmRatio::OneGb, &cfg))
+        });
+    }
+    group.finish();
+
+    // Ops-per-run constant for deriving mem-ops/sec from the timings.
+    let r = run_one(SchemeKind::Hybrid2, spec, NmRatio::OneGb, &cfg);
+    println!("e2e/mem_ops_per_run: {}", r.mem_ops);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = e2e_throughput
+}
+criterion_main!(benches);

@@ -8,8 +8,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use dram::{DeviceConfig, DramAccess, DramDevice, DramSystem};
 use hybrid2_core::xta::Xta;
 use mem_cache::{CacheConfig, SetAssocCache};
+use sim::PageAllocator;
 use sim_types::rng::SplitMix64;
-use sim_types::{AccessKind, Cycle, SectorId, TrafficClass};
+use sim_types::{AccessKind, Cycle, SectorId, TrafficClass, VAddr};
 
 fn xta_lookup(c: &mut Criterion) {
     let mut xta = Xta::new(1024, 16, 8, 9);
@@ -91,9 +92,83 @@ fn remap_locate(c: &mut Criterion) {
     });
 }
 
+fn page_translate(c: &mut Criterion) {
+    // Hit path: every op after a page's first touch takes this route.
+    let mut alloc = PageAllocator::new(1 << 30, 11);
+    for v in 0..4096u64 {
+        alloc.translate(0, VAddr::new(v * 4096));
+    }
+    let mut rng = SplitMix64::new(12);
+    c.bench_function("micro/page_translate_hit", |b| {
+        b.iter(|| alloc.translate(0, VAddr::new(rng.gen_range(4096) * 4096 + 8)))
+    });
+
+    // Cold path: first touch allocates a random free frame. The allocator
+    // is sized far beyond what calibration + samples can exhaust so every
+    // iteration really is a fresh page.
+    let mut cold = PageAllocator::new(1 << 35, 13);
+    let mut next = 0u64;
+    c.bench_function("micro/page_translate_cold", |b| {
+        b.iter(|| {
+            next += 1;
+            cold.translate(0, VAddr::new(next * 4096))
+        })
+    });
+}
+
+fn scheme_dispatch(c: &mut Criterion) {
+    use dram::MemoryScheme;
+    use hybrid2_core::{Dcmc, Hybrid2Config};
+    use sim::{build_scheme, NmRatio, ScaledSystem, SchemeKind};
+    use sim_types::{MemReq, PAddr};
+
+    // Same scheme, same request stream, two dispatch mechanisms: the
+    // devirtualized AnyScheme enum the Machine now uses, and the
+    // Box<dyn MemoryScheme> call it replaced (the trait still exists, so
+    // the old shape needs no compile gate to stay benchmarkable).
+    let sys = ScaledSystem::new(NmRatio::OneGb, 1024);
+
+    let mut enum_scheme = build_scheme(SchemeKind::Hybrid2, &sys);
+    // One span for both benches, so the two request streams (same RNG
+    // seed) are byte-identical and only the dispatch mechanism differs.
+    let span = enum_scheme.flat_capacity_bytes() / 2;
+    let mut dram = DramSystem::paper_default();
+    let mut rng = SplitMix64::new(6);
+    let mut t = Cycle::ZERO;
+    c.bench_function("micro/scheme_dispatch_enum", |b| {
+        b.iter(|| {
+            let req = MemReq::read(PAddr::new(rng.gen_range(span / 64) * 64), 64, t);
+            let served = enum_scheme.access(&req, &mut dram);
+            t = served.done;
+            served
+        })
+    });
+
+    let cfg = Hybrid2Config::scaled_down(1024).expect("smoke-scale config is valid");
+    let mut boxed: Box<dyn MemoryScheme> =
+        Box::new(Dcmc::new(cfg).expect("smoke-scale Dcmc builds"));
+    assert_eq!(
+        boxed.flat_capacity_bytes() / 2,
+        span,
+        "both dispatch benches must drive the same address span"
+    );
+    let mut dram = DramSystem::paper_default();
+    let mut rng = SplitMix64::new(6);
+    let mut t = Cycle::ZERO;
+    c.bench_function("micro/scheme_dispatch_boxed", |b| {
+        b.iter(|| {
+            let req = MemReq::read(PAddr::new(rng.gen_range(span / 64) * 64), 64, t);
+            let served = boxed.access(&req, &mut dram);
+            t = served.done;
+            served
+        })
+    });
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = xta_lookup, dram_access, mea_update, sram_cache_filter, remap_locate
+    targets = xta_lookup, dram_access, mea_update, sram_cache_filter, remap_locate,
+        page_translate, scheme_dispatch
 }
 criterion_main!(benches);

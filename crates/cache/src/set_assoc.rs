@@ -122,12 +122,42 @@ impl CacheConfig {
     }
 }
 
+/// One cache way, packed to 16 bytes so a 4-way set scan touches a single
+/// cache line of the host: `meta` holds `stamp << 2 | dirty << 1 | valid`.
+/// The LRU stamp is a per-cache access counter, so `stamp << 2` cannot
+/// overflow before 2^62 accesses.
 #[derive(Clone, Copy, Debug, Default)]
 struct Way {
     tag: u64,
-    valid: bool,
-    dirty: bool,
-    stamp: u64,
+    meta: u64,
+}
+
+impl Way {
+    const VALID: u64 = 1;
+    const DIRTY: u64 = 2;
+
+    #[inline]
+    fn filled(tag: u64, dirty: bool, stamp: u64) -> Way {
+        Way {
+            tag,
+            meta: (stamp << 2) | (u64::from(dirty) << 1) | Way::VALID,
+        }
+    }
+
+    #[inline]
+    fn valid(self) -> bool {
+        self.meta & Way::VALID != 0
+    }
+
+    #[inline]
+    fn dirty(self) -> bool {
+        self.meta & Way::DIRTY != 0
+    }
+
+    #[inline]
+    fn stamp(self) -> u64 {
+        self.meta >> 2
+    }
 }
 
 /// A line evicted to make room for a fill.
@@ -188,6 +218,7 @@ pub struct SetAssocCache {
     stats: CacheStats,
     line_shift: u32,
     set_mask: u64,
+    set_shift: u32,
     clock: u64,
 }
 
@@ -198,6 +229,7 @@ impl SetAssocCache {
         SetAssocCache {
             line_shift: cfg.line.trailing_zeros(),
             set_mask: cfg.sets - 1,
+            set_shift: cfg.sets.trailing_zeros(),
             ways,
             stats: CacheStats::default(),
             clock: 0,
@@ -218,7 +250,7 @@ impl SetAssocCache {
     #[inline]
     fn set_of(&self, addr: u64) -> (u64, u64) {
         let line = addr >> self.line_shift;
-        (line & self.set_mask, line >> self.set_mask.count_ones())
+        (line & self.set_mask, line >> self.set_shift)
     }
 
     fn set_range(&self, set: u64) -> core::ops::Range<usize> {
@@ -228,61 +260,56 @@ impl SetAssocCache {
 
     /// Looks up `addr`, allocating it on miss (possibly evicting a victim).
     /// `write` marks the line dirty.
+    ///
+    /// Hit scan and victim scan are fused into one pass over a set sliced
+    /// out once: a hit returns immediately; otherwise the pass has already
+    /// found the first invalid way (preferred victim) and the LRU way.
     pub fn access(&mut self, addr: u64, write: bool) -> Access {
         self.clock += 1;
         let clock = self.clock;
         let (set, tag) = self.set_of(addr);
-        let range = self.set_range(set);
+        let start = (set * u64::from(self.cfg.assoc)) as usize;
+        let ways = &mut self.ways[start..start + self.cfg.assoc as usize];
         self.stats.accesses += 1;
 
-        // Hit path.
-        for w in &mut self.ways[range.clone()] {
-            if w.valid && w.tag == tag {
-                w.stamp = clock;
-                w.dirty |= write;
-                self.stats.hits += 1;
-                return Access {
-                    hit: true,
-                    evicted: None,
-                };
+        let mut lru = 0usize;
+        let mut lru_stamp = u64::MAX;
+        let mut invalid: Option<usize> = None;
+        for (i, w) in ways.iter_mut().enumerate() {
+            if w.valid() {
+                if w.tag == tag {
+                    w.meta = (clock << 2) | (w.meta & 3) | (u64::from(write) << 1);
+                    self.stats.hits += 1;
+                    return Access {
+                        hit: true,
+                        evicted: None,
+                    };
+                }
+                if w.stamp() < lru_stamp {
+                    lru_stamp = w.stamp();
+                    lru = i;
+                }
+            } else if invalid.is_none() {
+                invalid = Some(i);
             }
         }
 
-        // Miss: find an invalid way or the LRU victim.
-        let mut victim_idx = range.start;
-        let mut victim_stamp = u64::MAX;
-        let mut found_invalid = false;
-        for (i, w) in self.ways[range.clone()].iter().enumerate() {
-            if !w.valid {
-                victim_idx = range.start + i;
-                found_invalid = true;
-                break;
-            }
-            if w.stamp < victim_stamp {
-                victim_stamp = w.stamp;
-                victim_idx = range.start + i;
-            }
-        }
-
-        let evicted = if found_invalid {
+        // Miss: fill the first invalid way, else evict the LRU victim.
+        let victim_idx = start + invalid.unwrap_or(lru);
+        let evicted = if invalid.is_some() {
             None
         } else {
             let w = self.ways[victim_idx];
-            if w.dirty {
+            if w.dirty() {
                 self.stats.dirty_evictions += 1;
             }
             Some(Evicted {
                 line_addr: self.reconstruct(set, w.tag),
-                dirty: w.dirty,
+                dirty: w.dirty(),
             })
         };
 
-        self.ways[victim_idx] = Way {
-            tag,
-            valid: true,
-            dirty: write,
-            stamp: clock,
-        };
+        self.ways[victim_idx] = Way::filled(tag, write, clock);
         Access {
             hit: false,
             evicted,
@@ -294,7 +321,7 @@ impl SetAssocCache {
         let (set, tag) = self.set_of(addr);
         self.ways[self.set_range(set)]
             .iter()
-            .any(|w| w.valid && w.tag == tag)
+            .any(|w| w.valid() && w.tag == tag)
     }
 
     /// Marks a resident line dirty without affecting LRU; returns whether the
@@ -303,8 +330,8 @@ impl SetAssocCache {
         let (set, tag) = self.set_of(addr);
         let range = self.set_range(set);
         for w in &mut self.ways[range] {
-            if w.valid && w.tag == tag {
-                w.dirty = true;
+            if w.valid() && w.tag == tag {
+                w.meta |= Way::DIRTY;
                 return true;
             }
         }
@@ -316,10 +343,9 @@ impl SetAssocCache {
         let (set, tag) = self.set_of(addr);
         let range = self.set_range(set);
         for w in &mut self.ways[range] {
-            if w.valid && w.tag == tag {
-                w.valid = false;
-                let dirty = w.dirty;
-                w.dirty = false;
+            if w.valid() && w.tag == tag {
+                let dirty = w.dirty();
+                w.meta &= !(Way::VALID | Way::DIRTY);
                 return Some(dirty);
             }
         }
@@ -328,14 +354,14 @@ impl SetAssocCache {
 
     /// Number of currently valid lines.
     pub fn occupancy(&self) -> u64 {
-        self.ways.iter().filter(|w| w.valid).count() as u64
+        self.ways.iter().filter(|w| w.valid()).count() as u64
     }
 
     /// Iterates over the addresses of all resident lines (diagnostics/tests).
     pub fn resident_lines(&self) -> impl Iterator<Item = u64> + '_ {
         let assoc = u64::from(self.cfg.assoc);
         self.ways.iter().enumerate().filter_map(move |(i, w)| {
-            if w.valid {
+            if w.valid() {
                 Some(self.reconstruct(i as u64 / assoc, w.tag))
             } else {
                 None
@@ -345,7 +371,7 @@ impl SetAssocCache {
 
     #[inline]
     fn reconstruct(&self, set: u64, tag: u64) -> u64 {
-        ((tag << self.set_mask.count_ones()) | set) << self.line_shift
+        ((tag << self.set_shift) | set) << self.line_shift
     }
 
     /// Aligns an arbitrary byte address down to its line base.

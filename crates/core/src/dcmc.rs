@@ -31,6 +31,11 @@ pub struct Dcmc {
     stats: SchemeStats,
     /// §3.8 extension: OS-hinted dead sectors (indexed by flat sector id).
     unused: Vec<bool>,
+    /// Count of `true` entries in `unused`. Every demand access must
+    /// revive its sector, but without hints there is nothing to revive —
+    /// the counter lets the per-request hot path skip the random write
+    /// into the (large) `unused` vector entirely.
+    unused_live: u64,
     /// §3.8: Figure-8 swap copies skipped thanks to hints.
     swaps_avoided: u64,
     /// §3.8: eviction writebacks skipped thanks to hints.
@@ -66,6 +71,7 @@ impl Dcmc {
             last_budget_reset: Cycle::ZERO,
             stats: SchemeStats::default(),
             unused: vec![false; layout.flat_sectors as usize],
+            unused_live: 0,
             swaps_avoided: 0,
             writebacks_avoided: 0,
             layout,
@@ -171,7 +177,7 @@ impl Dcmc {
         let line_bytes = g.line_size() as u32;
         // §3.8: a sector the OS declared dead needs neither migration nor
         // writebacks — drop it and recycle the slot.
-        if self.unused[victim.sector.index()] {
+        if self.unused_live > 0 && self.unused[victim.sector.index()] {
             if victim.dirty != 0 {
                 self.writebacks_avoided += 1;
             }
@@ -319,7 +325,7 @@ impl Dcmc {
                 self.meta_read(addr, at, dram);
             }
             // §3.8: dead data need not be copied — only the remap changes.
-            if self.unused[sec.index()] {
+            if self.unused_live > 0 && self.unused[sec.index()] {
                 self.swaps_avoided += 1;
             } else {
                 dram.burst(
@@ -436,7 +442,13 @@ impl MemoryScheme for Dcmc {
             self.stats.reads += 1;
         }
         // §3.8: any touch revives a hinted-dead sector (implicit realloc).
-        self.unused[sector.index()] = false;
+        if self.unused_live > 0 {
+            let u = &mut self.unused[sector.index()];
+            if *u {
+                *u = false;
+                self.unused_live -= 1;
+            }
+        }
 
         // Every request pays the on-chip XTA lookup (§3.2).
         let t0 = req.at + self.cfg.xta_latency;
@@ -582,7 +594,11 @@ impl MemoryScheme for Dcmc {
         let first = addr.raw().div_ceil(sector_bytes);
         let last = (addr.raw() + bytes) / sector_bytes;
         for sec in first..last.min(self.layout.flat_sectors) {
-            self.unused[sec as usize] = true;
+            let u = &mut self.unused[sec as usize];
+            if !*u {
+                *u = true;
+                self.unused_live += 1;
+            }
         }
     }
 
@@ -591,7 +607,11 @@ impl MemoryScheme for Dcmc {
         let first = addr.raw() / sector_bytes;
         let last = (addr.raw() + bytes).div_ceil(sector_bytes);
         for sec in first..last.min(self.layout.flat_sectors) {
-            self.unused[sec as usize] = false;
+            let u = &mut self.unused[sec as usize];
+            if *u {
+                *u = false;
+                self.unused_live -= 1;
+            }
         }
     }
 

@@ -119,6 +119,11 @@ pub struct Core {
     cfg: CoreConfig,
     cycle: Cycle,
     stats: CoreStats,
+    /// `log2(issue_width)` when the width is a power of two, so the
+    /// per-op `ceil(instructions / width)` is a shift instead of a 64-bit
+    /// divide (this runs once per memory operation of the whole
+    /// simulation; the paper's width of 4 always takes the shift path).
+    width_shift: Option<u32>,
     /// Outstanding LLC-miss loads: (completion cycle, instruction count at
     /// issue), oldest first.
     outstanding: VecDeque<(Cycle, u64)>,
@@ -137,6 +142,10 @@ impl Core {
             cfg,
             cycle: Cycle::ZERO,
             stats: CoreStats::default(),
+            width_shift: cfg
+                .issue_width
+                .is_power_of_two()
+                .then(|| cfg.issue_width.trailing_zeros()),
             outstanding: VecDeque::with_capacity(cfg.mshrs + 1),
         }
     }
@@ -166,7 +175,11 @@ impl Core {
     pub fn advance_instructions(&mut self, n: u64) {
         if n > 0 {
             self.stats.instructions += n;
-            self.cycle += n.div_ceil(u64::from(self.cfg.issue_width));
+            let width = u64::from(self.cfg.issue_width);
+            self.cycle += match self.width_shift {
+                Some(s) => (n + width - 1) >> s,
+                None => n.div_ceil(width),
+            };
         }
         self.settle_window();
     }

@@ -9,7 +9,7 @@
 //! * **§3.8 free-space hints** — the paper's extension sketch: with
 //!   Chameleon-style OS hints, swap-outs of dead data skip their copies.
 
-use dram::{DramSystem, MemoryScheme};
+use dram::DramSystem;
 use hybrid2_core::{Dcmc, Hybrid2Config, Variant};
 use mem_cache::Hierarchy;
 use sim_types::Geometry;
@@ -42,7 +42,7 @@ fn run_custom_hinted(
     let mut machine = Machine::new(
         8,
         Hierarchy::new(sys.hierarchy()),
-        Box::new(dcmc) as Box<dyn MemoryScheme>,
+        dcmc.into(),
         DramSystem::paper_default(),
         workload,
         cfg.seed,

@@ -33,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod any_scheme;
 pub mod experiments;
 mod machine;
 mod matrix;
@@ -41,8 +42,9 @@ pub mod report;
 mod runner;
 mod scale;
 
+pub use any_scheme::AnyScheme;
 pub use machine::{Machine, RunResult};
 pub use matrix::{ClassSummary, Matrix};
 pub use page_alloc::PageAllocator;
-pub use runner::{build_scheme, run_one, EvalConfig, SchemeKind};
+pub use runner::{build_scheme, run_one, scheme_label, EvalConfig, SchemeKind};
 pub use scale::{NmRatio, ScaledSystem};

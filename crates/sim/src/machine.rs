@@ -1,11 +1,12 @@
 //! The full-system event loop.
 
 use cpu::{Core, CoreConfig};
-use dram::{DramSystem, MemoryScheme, SchemeStats};
+use dram::{DramSystem, SchemeStats};
 use mem_cache::Hierarchy;
 use sim_types::{Cycle, MemReq, MemSide, TraceSource, TrafficClass};
 use workloads::Workload;
 
+use crate::any_scheme::AnyScheme;
 use crate::page_alloc::PageAllocator;
 
 /// Everything measured by one simulation run.
@@ -19,6 +20,10 @@ pub struct RunResult {
     pub cycles: u64,
     /// Instructions retired across all cores.
     pub instructions: u64,
+    /// Memory operations replayed from the traces (L1 accesses) — the
+    /// per-op inner loop's iteration count, used to express simulator
+    /// throughput as mem-ops/sec.
+    pub mem_ops: u64,
     /// Measured LLC misses per kilo-instruction.
     pub mpki: f64,
     /// Fraction of processor memory requests served from NM, in [0, 1].
@@ -51,7 +56,7 @@ impl RunResult {
 pub struct Machine {
     cores: Vec<Core>,
     hierarchy: Hierarchy,
-    scheme: Box<dyn MemoryScheme>,
+    scheme: AnyScheme,
     dram: DramSystem,
     pages: PageAllocator,
     workload: Workload,
@@ -60,13 +65,14 @@ pub struct Machine {
 }
 
 impl Machine {
-    /// Assembles a machine. The page allocator must cover the scheme's
-    /// flat capacity (callers build it from
-    /// [`MemoryScheme::flat_capacity_bytes`]).
+    /// Assembles a machine. The scheme arrives as an [`AnyScheme`]
+    /// (anything concrete converts with `.into()`), so the two
+    /// `scheme.access` calls per memory op dispatch statically. The page
+    /// allocator covers the scheme's flat capacity.
     pub fn new(
         cores: usize,
         hierarchy: Hierarchy,
-        scheme: Box<dyn MemoryScheme>,
+        scheme: AnyScheme,
         dram: DramSystem,
         workload: Workload,
         seed: u64,
@@ -102,22 +108,43 @@ impl Machine {
     /// Runs until every core has retired `instrs_per_core` instructions,
     /// then drains outstanding misses and reports.
     pub fn run(&mut self, instrs_per_core: u64) -> RunResult {
-        let n = self.cores.len();
+        // Earliest unfinished core first (deterministic tie-break by
+        // index) — this keeps DRAM arrival order causal. Core clocks are
+        // mirrored into a compact array of `now << shift | index` keys
+        // (u64::MAX = finished), so the per-op earliest-core pick is a
+        // branchless min-reduction over a few contiguous words — the
+        // winning index rides along in the low bits — instead of a
+        // pointer-chasing scan through the Core structs (a binary heap
+        // loses here too: at 8 cores its sift branches cost more than
+        // the whole scan). Min over these keys picks the lowest index
+        // among time ties, exactly like the scan it replaces.
+        let shared_space = self.workload.shared_address_space();
+        let idx_bits = self.cores.len().next_power_of_two().trailing_zeros().max(1);
+        let pack = |now: u64, i: usize| -> u64 {
+            assert!(
+                now >> (64 - idx_bits) == 0,
+                "simulated time overflows the packed scheduler key"
+            );
+            (now << idx_bits) | i as u64
+        };
+        let mut keys: Vec<u64> = self
+            .cores
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                if c.retired() < instrs_per_core {
+                    pack(c.now().raw(), i)
+                } else {
+                    u64::MAX
+                }
+            })
+            .collect();
         loop {
-            // Pick the earliest unfinished core (deterministic tie-break by
-            // index) — this keeps DRAM arrival order causal.
-            let mut best: Option<usize> = None;
-            for i in 0..n {
-                if self.cores[i].retired() >= instrs_per_core {
-                    continue;
-                }
-                match best {
-                    None => best = Some(i),
-                    Some(b) if self.cores[i].now() < self.cores[b].now() => best = Some(i),
-                    _ => {}
-                }
+            let best = keys.iter().copied().fold(u64::MAX, u64::min);
+            if best == u64::MAX {
+                break;
             }
-            let Some(i) = best else { break };
+            let i = (best & ((1 << idx_bits) - 1)) as usize;
 
             // Interval housekeeping (migration schemes).
             let now = self.cores[i].now().raw();
@@ -132,16 +159,12 @@ impl Machine {
                 // in tests may end): finish this core.
                 let remaining = instrs_per_core - self.cores[i].retired();
                 self.cores[i].advance_instructions(remaining);
+                keys[i] = u64::MAX;
                 continue;
             };
             self.cores[i].advance_instructions(op.instructions());
 
-            // MP workloads isolate address spaces per core; MT share one.
-            let space = if self.workload.shared_address_space() {
-                0
-            } else {
-                i as u8
-            };
+            let space = if shared_space { 0 } else { i as u8 };
             let (paddr, fresh_page) = self.pages.translate_tracking(space, op.addr);
             if self.os_hints && fresh_page {
                 let page_base = sim_types::PAddr::new(paddr.raw() & !4095);
@@ -170,6 +193,12 @@ impl Machine {
                     self.cores[i].issue_llc_miss_load(served.done);
                 }
             }
+
+            keys[i] = if self.cores[i].retired() < instrs_per_core {
+                pack(self.cores[i].now().raw(), i)
+            } else {
+                u64::MAX
+            };
         }
         for c in &mut self.cores {
             c.drain();
@@ -187,6 +216,7 @@ impl Machine {
             workload: self.workload.spec().name,
             cycles,
             instructions,
+            mem_ops: hstats.l1.accesses,
             mpki: hstats.mpki(instructions),
             nm_served: self.scheme.stats().nm_served_fraction(),
             fm_traffic: self.dram.traffic_bytes(MemSide::Fm),
@@ -226,7 +256,7 @@ mod tests {
         Machine::new(
             2,
             Hierarchy::new(HierarchyConfig::scaled(2, 1, 64)),
-            Box::new(FmOnly::new(1 << 28)),
+            FmOnly::new(1 << 28).into(),
             DramSystem::paper_default(),
             wl,
             seed,

@@ -1,7 +1,7 @@
 //! The scheme × workload evaluation grid, run in parallel.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::OnceLock;
 
 use sim_types::stats::geomean;
 use workloads::{MpkiClass, WorkloadSpec};
@@ -51,9 +51,43 @@ pub struct Matrix {
     pub schemes: Vec<SchemeRow>,
 }
 
+/// Relative cost weight of one (scheme, workload-class) grid cell, used to
+/// order jobs longest-processing-time-first. The absolute scale is
+/// irrelevant — only the ordering matters — and the weights are heuristic:
+/// high-MPKI workloads drive more ops through the scheme, and migration
+/// schemes pay remap lookups plus interval ticks on top of the shared
+/// pipeline. Mis-estimation costs only tail latency, never correctness
+/// (every cell is a pure function of its inputs).
+fn job_cost(kind: SchemeKind, spec: &WorkloadSpec) -> u64 {
+    let scheme = match kind {
+        SchemeKind::Baseline => 2,
+        SchemeKind::Tagless | SchemeKind::IdealLine(_) => 3,
+        SchemeKind::Dfc | SchemeKind::DfcLine(_) => 3,
+        SchemeKind::MemPod | SchemeKind::Lgm => 4,
+        SchemeKind::Chameleon => 5,
+        SchemeKind::Hybrid2 | SchemeKind::Hybrid2Variant(_) | SchemeKind::Hybrid2Config { .. } => 4,
+    };
+    let class = match spec.class {
+        MpkiClass::High => 3,
+        MpkiClass::Medium => 2,
+        MpkiClass::Low => 1,
+    };
+    scheme * class
+}
+
+/// One grid cell: `slot` is its position in the result layout (baseline
+/// rows first, then each scheme in `kinds` order).
+#[derive(Clone, Copy)]
+struct Job {
+    slot: usize,
+    w: usize,
+    kind: SchemeKind,
+}
+
 impl Matrix {
     /// Runs the grid using `cfg.threads` worker threads. Deterministic:
-    /// every cell depends only on (scheme, workload, ratio, cfg).
+    /// every cell depends only on (scheme, workload, ratio, cfg) — the
+    /// LPT dispatch order and thread interleaving affect wall-clock only.
     pub fn run(
         kinds: &[SchemeKind],
         specs: &[&'static WorkloadSpec],
@@ -61,16 +95,34 @@ impl Matrix {
         cfg: &EvalConfig,
     ) -> Matrix {
         // Job list: baseline first, then each scheme.
-        let mut jobs: Vec<(usize, usize, SchemeKind)> = Vec::new();
+        let mut jobs: Vec<Job> = Vec::new();
         for (w, _) in specs.iter().enumerate() {
-            jobs.push((0, w, SchemeKind::Baseline));
+            jobs.push(Job {
+                slot: w,
+                w,
+                kind: SchemeKind::Baseline,
+            });
         }
         for (s, &kind) in kinds.iter().enumerate() {
             for (w, _) in specs.iter().enumerate() {
-                jobs.push((s + 1, w, kind));
+                jobs.push(Job {
+                    slot: (s + 1) * specs.len() + w,
+                    w,
+                    kind,
+                });
             }
         }
-        let results: Mutex<Vec<Option<RunResult>>> = Mutex::new(vec![None; jobs.len()]);
+        // Longest-processing-time-first keeps the stragglers off the end
+        // of the schedule, cutting tail latency when jobs ≫ workers; slot
+        // order breaks ties so dispatch stays deterministic.
+        jobs.sort_by(|a, b| {
+            job_cost(b.kind, specs[b.w])
+                .cmp(&job_cost(a.kind, specs[a.w]))
+                .then(a.slot.cmp(&b.slot))
+        });
+        // Each worker writes its own slot: per-slot OnceLocks need no
+        // shared lock on the result vector.
+        let results: Vec<OnceLock<RunResult>> = jobs.iter().map(|_| OnceLock::new()).collect();
         let next = AtomicUsize::new(0);
         let workers = cfg.threads.max(1).min(jobs.len().max(1));
         std::thread::scope(|scope| {
@@ -80,17 +132,17 @@ impl Matrix {
                     if i >= jobs.len() {
                         break;
                     }
-                    let (_, w, kind) = jobs[i];
+                    let Job { slot, w, kind } = jobs[i];
                     let r = run_one(kind, specs[w], ratio, cfg);
-                    results.lock().expect("no poisoned workers")[i] = Some(r);
+                    results[slot]
+                        .set(r)
+                        .unwrap_or_else(|_| panic!("slot {slot} written twice"));
                 });
             }
         });
         let mut flat: Vec<RunResult> = results
-            .into_inner()
-            .expect("all workers joined")
             .into_iter()
-            .map(|r| r.expect("every job ran"))
+            .map(|cell| cell.into_inner().expect("every job ran"))
             .collect();
 
         let baseline: Vec<RunResult> = flat.drain(..specs.len()).collect();

@@ -7,17 +7,121 @@
 //! concatenation of NM-backed and FM-backed sectors, uniform sampling is
 //! exactly capacity-proportional placement. Multi-programmed workloads get
 //! one address space per core; multi-threaded workloads share space 0.
+//!
+//! The `(space, vpage) → frame` map is consulted once per memory op on
+//! [`Machine::run`](crate::Machine::run)'s hot path, so it is an
+//! open-addressing table with a multiply-xor hash rather than a SipHash
+//! `HashMap` — same mapping (frame choice comes from [`SplitMix64`], never
+//! from table order), a fraction of the lookup cost.
 
 use sim_types::rng::SplitMix64;
 use sim_types::{PAddr, VAddr};
-use std::collections::HashMap;
 
 const PAGE: u64 = 4096;
+
+/// Slot sentinel: no key. A real packed key never equals this (it would
+/// need space 0xFF *and* an all-ones 56-bit virtual page number).
+const EMPTY: u64 = u64::MAX;
+
+/// Finalizer-style multiply-xor hash: one multiplication by an odd
+/// constant (the golden-ratio multiplier) to smear low-entropy vpage bits
+/// across the word, one xor-shift to fold the well-mixed high half down
+/// into the index bits.
+#[inline]
+fn hash(key: u64) -> u64 {
+    let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    h ^ (h >> 32)
+}
+
+/// Open-addressed, linear-probing `(space, vpage) → frame` table.
+///
+/// Keys are packed as `space << 56 | vpage`; capacity is a power of two
+/// grown at ~70% load. Deletion is never needed (pages are not freed), so
+/// probing needs no tombstones.
+#[derive(Clone, Debug)]
+struct FrameTable {
+    keys: Vec<u64>,
+    frames: Vec<u64>,
+    len: usize,
+    mask: u64,
+}
+
+impl FrameTable {
+    fn new() -> Self {
+        const INITIAL_SLOTS: usize = 1024;
+        FrameTable {
+            keys: vec![EMPTY; INITIAL_SLOTS],
+            frames: vec![0; INITIAL_SLOTS],
+            len: 0,
+            mask: INITIAL_SLOTS as u64 - 1,
+        }
+    }
+
+    #[inline]
+    fn pack(space: u8, vpage: u64) -> u64 {
+        debug_assert!(vpage < 1 << 56, "virtual page number overflows packing");
+        (u64::from(space) << 56) | vpage
+    }
+
+    /// Looks `key` up; on absence returns the slot index where it belongs.
+    #[inline]
+    fn probe(&self, key: u64) -> Result<u64, usize> {
+        let mut i = hash(key) & self.mask;
+        loop {
+            let k = self.keys[i as usize];
+            if k == key {
+                return Ok(self.frames[i as usize]);
+            }
+            if k == EMPTY {
+                return Err(i as usize);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Inserts a key known to be absent, at the slot `probe` reported.
+    fn insert_at(&mut self, slot: usize, key: u64, frame: u64) {
+        self.keys[slot] = key;
+        self.frames[slot] = frame;
+        self.len += 1;
+        // Grow at 70% load so probe chains stay short.
+        if self.len as u64 * 10 >= (self.mask + 1) * 7 {
+            self.grow();
+        }
+    }
+
+    fn grow(&mut self) {
+        let new_slots = (self.keys.len() * 2).max(1024);
+        let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY; new_slots]);
+        let old_frames = std::mem::replace(&mut self.frames, vec![0; new_slots]);
+        self.mask = new_slots as u64 - 1;
+        for (k, f) in old_keys.into_iter().zip(old_frames) {
+            if k == EMPTY {
+                continue;
+            }
+            let mut i = hash(k) & self.mask;
+            while self.keys[i as usize] != EMPTY {
+                i = (i + 1) & self.mask;
+            }
+            self.keys[i as usize] = k;
+            self.frames[i as usize] = f;
+        }
+    }
+
+    #[cfg(test)]
+    fn iter_frames(&self) -> impl Iterator<Item = u64> + '_ {
+        self.keys
+            .iter()
+            .zip(&self.frames)
+            .filter(|(&k, _)| k != EMPTY)
+            .map(|(_, &f)| f)
+    }
+}
 
 /// Lazy random page table over a fixed physical capacity.
 #[derive(Clone, Debug)]
 pub struct PageAllocator {
-    map: HashMap<(u8, u64), u64>,
+    map: FrameTable,
     free: Vec<u64>,
     rng: SplitMix64,
     capacity_pages: u64,
@@ -33,7 +137,7 @@ impl PageAllocator {
         let capacity_pages = capacity_bytes / PAGE;
         assert!(capacity_pages > 0, "capacity below one page");
         PageAllocator {
-            map: HashMap::new(),
+            map: FrameTable::new(),
             free: (0..capacity_pages).collect(),
             rng: SplitMix64::new(seed),
             capacity_pages,
@@ -57,12 +161,14 @@ impl PageAllocator {
     /// # Panics
     ///
     /// Panics when physical memory is exhausted.
+    #[inline]
     pub fn translate_tracking(&mut self, space: u8, vaddr: VAddr) -> (PAddr, bool) {
         let vpage = vaddr.raw() / PAGE;
         let offset = vaddr.raw() % PAGE;
-        let (ppage, fresh) = match self.map.get(&(space, vpage)) {
-            Some(&p) => (p, false),
-            None => {
+        let key = FrameTable::pack(space, vpage);
+        let (ppage, fresh) = match self.map.probe(key) {
+            Ok(p) => (p, false),
+            Err(slot) => {
                 assert!(
                     !self.free.is_empty(),
                     "physical memory exhausted: footprint exceeds the flat space \
@@ -70,7 +176,7 @@ impl PageAllocator {
                 );
                 let idx = self.rng.gen_range(self.free.len() as u64) as usize;
                 let p = self.free.swap_remove(idx);
-                self.map.insert((space, vpage), p);
+                self.map.insert_at(slot, key, p);
                 (p, true)
             }
         };
@@ -79,7 +185,7 @@ impl PageAllocator {
 
     /// Pages allocated so far.
     pub fn allocated_pages(&self) -> u64 {
-        self.map.len() as u64
+        self.map.len as u64
     }
 
     /// Bytes of distinct memory touched (the measured footprint).
@@ -132,7 +238,7 @@ mod tests {
             a.translate(0, VAddr::new(v * PAGE));
         }
         let nm_limit = (1u64 << 20) / PAGE; // first 1/17 of frames
-        let in_nm = a.map.values().filter(|&&p| p < nm_limit).count() as f64;
+        let in_nm = a.map.iter_frames().filter(|&p| p < nm_limit).count() as f64;
         let frac = in_nm / 1000.0;
         assert!((frac - 1.0 / 17.0).abs() < 0.03, "NM fraction {frac}");
     }
@@ -175,5 +281,54 @@ mod tests {
         a.translate(0, VAddr::new(100));
         a.translate(0, VAddr::new(PAGE));
         assert_eq!(a.footprint_bytes(), 2 * PAGE);
+    }
+
+    /// The open-addressing table must keep every mapping stable across its
+    /// growth thresholds (the old HashMap made this free; here rehashing
+    /// moves slots, so pin it).
+    #[test]
+    fn mappings_survive_table_growth() {
+        let mut a = PageAllocator::new(1 << 28, 9);
+        let n = 5000u64; // crosses several grow() calls from 1024 slots
+        let first: Vec<PAddr> = (0..n)
+            .map(|v| a.translate(0, VAddr::new(v * PAGE)))
+            .collect();
+        for v in 0..n {
+            assert_eq!(a.translate(0, VAddr::new(v * PAGE)), first[v as usize]);
+        }
+        assert_eq!(a.allocated_pages(), n);
+    }
+
+    /// Frame assignment order must match what any map implementation gives:
+    /// it is a pure function of the RNG and the touch sequence.
+    #[test]
+    fn frame_sequence_is_rng_driven_only() {
+        let mut a = PageAllocator::new(1 << 20, 3);
+        let mut reference = {
+            let mut free: Vec<u64> = (0..(1u64 << 20) / PAGE).collect();
+            let mut rng = SplitMix64::new(3);
+            move || {
+                let idx = rng.gen_range(free.len() as u64) as usize;
+                free.swap_remove(idx)
+            }
+        };
+        for v in 0..64u64 {
+            let expect = reference();
+            assert_eq!(a.translate(2, VAddr::new(v * PAGE)).raw() / PAGE, expect);
+        }
+    }
+
+    /// Keys that collide into the same slot chain stay distinguishable.
+    #[test]
+    fn colliding_spaces_and_pages_disambiguate() {
+        let mut a = PageAllocator::new(1 << 24, 5);
+        let mut seen = std::collections::BTreeSet::new();
+        for space in 0..8u8 {
+            for v in 0..256u64 {
+                let p = a.translate(space, VAddr::new(v * PAGE));
+                assert!(seen.insert(p.raw() / PAGE), "frame handed out twice");
+            }
+        }
+        assert_eq!(a.allocated_pages(), 8 * 256);
     }
 }

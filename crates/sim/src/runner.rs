@@ -4,12 +4,13 @@ use baselines::{
     Chameleon, ChameleonConfig, Dfc, DfcConfig, FmOnly, IdealCache, IdealCacheConfig, Lgm,
     LgmConfig, MemPod, MemPodConfig, Tagless, TaglessConfig,
 };
-use dram::{DramSystem, MemoryScheme};
+use dram::DramSystem;
 use hybrid2_core::{Dcmc, Hybrid2Config, Variant};
 use mem_cache::Hierarchy;
 use sim_types::Geometry;
 use workloads::{Workload, WorkloadSpec};
 
+use crate::any_scheme::AnyScheme;
 use crate::machine::{Machine, RunResult};
 use crate::scale::{NmRatio, ScaledSystem};
 
@@ -101,78 +102,82 @@ impl EvalConfig {
     }
 }
 
-/// Builds a scheme instance for `kind` on a `sys`-sized machine.
+/// Builds a scheme instance for `kind` on a `sys`-sized machine. The
+/// returned [`AnyScheme`] dispatches statically on the per-op path (it
+/// still implements [`dram::MemoryScheme`] for trait-generic callers).
 ///
 /// # Panics
 ///
 /// Panics if a scheme configuration is structurally invalid at this scale —
 /// that is a harness bug, not an input error.
-pub fn build_scheme(kind: SchemeKind, sys: &ScaledSystem) -> Box<dyn MemoryScheme> {
+pub fn build_scheme(kind: SchemeKind, sys: &ScaledSystem) -> AnyScheme {
     match kind {
-        SchemeKind::Baseline => Box::new(FmOnly::new(sys.fm_bytes)),
-        SchemeKind::MemPod => Box::new(MemPod::new(MemPodConfig::paper_default(
+        SchemeKind::Baseline => FmOnly::new(sys.fm_bytes).into(),
+        SchemeKind::MemPod => MemPod::new(MemPodConfig::paper_default(
             sys.nm_bytes,
             sys.fm_bytes,
             sys.remap_cache_bytes,
-        ))),
-        SchemeKind::Chameleon => Box::new(Chameleon::new(ChameleonConfig::paper_default(
+        ))
+        .into(),
+        SchemeKind::Chameleon => Chameleon::new(ChameleonConfig::paper_default(
             sys.nm_bytes,
             sys.fm_bytes,
             sys.cache_bytes,
             sys.remap_cache_bytes,
-        ))),
-        SchemeKind::Lgm => Box::new(Lgm::new(LgmConfig::paper_default(
+        ))
+        .into(),
+        SchemeKind::Lgm => Lgm::new(LgmConfig::paper_default(
             sys.nm_bytes,
             sys.fm_bytes,
             sys.remap_cache_bytes,
-        ))),
-        SchemeKind::Tagless => {
-            Box::new(Tagless::new(TaglessConfig::new(sys.nm_bytes, sys.fm_bytes)))
-        }
-        SchemeKind::Dfc => Box::new(Dfc::new(DfcConfig::paper_best(
+        ))
+        .into(),
+        SchemeKind::Tagless => Tagless::new(TaglessConfig::new(sys.nm_bytes, sys.fm_bytes)).into(),
+        SchemeKind::Dfc => Dfc::new(DfcConfig::paper_best(
             sys.nm_bytes,
             sys.fm_bytes,
             sys.llc_bytes,
-        ))),
+        ))
+        .into(),
         SchemeKind::DfcLine(line) => {
             let mut cfg = DfcConfig::paper_best(sys.nm_bytes, sys.fm_bytes, sys.llc_bytes);
             cfg.line_bytes = line;
-            Box::new(Dfc::new(cfg))
+            Dfc::new(cfg).into()
         }
-        SchemeKind::IdealLine(line) => Box::new(IdealCache::new(IdealCacheConfig {
+        SchemeKind::IdealLine(line) => IdealCache::new(IdealCacheConfig {
             nm_bytes: sys.nm_bytes,
             fm_bytes: sys.fm_bytes,
             line_bytes: line,
             assoc: 16,
-        })),
-        SchemeKind::Hybrid2 => Box::new(
-            Dcmc::new(hybrid2_config(
-                sys,
-                sys.cache_bytes,
-                2048,
-                256,
-                Variant::Full,
-            ))
-            .expect("paper-best Hybrid2 config is valid"),
-        ),
-        SchemeKind::Hybrid2Variant(variant) => Box::new(
+        })
+        .into(),
+        SchemeKind::Hybrid2 => Dcmc::new(hybrid2_config(
+            sys,
+            sys.cache_bytes,
+            2048,
+            256,
+            Variant::Full,
+        ))
+        .expect("paper-best Hybrid2 config is valid")
+        .into(),
+        SchemeKind::Hybrid2Variant(variant) => {
             Dcmc::new(hybrid2_config(sys, sys.cache_bytes, 2048, 256, variant))
-                .expect("variant config is valid"),
-        ),
+                .expect("variant config is valid")
+                .into()
+        }
         SchemeKind::Hybrid2Config {
             cache_bytes_paper,
             sector,
             line,
-        } => Box::new(
-            Dcmc::new(hybrid2_config(
-                sys,
-                cache_bytes_paper / sys.scale_den,
-                sector,
-                line,
-                Variant::Full,
-            ))
-            .expect("design-space config is valid"),
-        ),
+        } => Dcmc::new(hybrid2_config(
+            sys,
+            cache_bytes_paper / sys.scale_den,
+            sector,
+            line,
+            Variant::Full,
+        ))
+        .expect("design-space config is valid")
+        .into(),
     }
 }
 

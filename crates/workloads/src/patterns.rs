@@ -156,6 +156,21 @@ impl TraceGen {
         self.pattern
     }
 
+    /// Exactly `x % m`, but the per-op common case (`x` already below `m`
+    /// or barely past it) never executes a 64-bit divide — address
+    /// wrap-around runs once per generated op, and `div` is the single
+    /// most expensive ALU instruction on that path.
+    #[inline]
+    fn wrap(x: u64, m: u64) -> u64 {
+        if x < m {
+            x
+        } else if x < 2 * m {
+            x - m
+        } else {
+            x % m
+        }
+    }
+
     fn gap(&mut self) -> u32 {
         // Uniform around the mean: mean gap = mem_every - 1.
         if self.mem_every <= 1 {
@@ -174,7 +189,7 @@ impl TraceGen {
     fn hot_jump(&mut self, hot_bp: u32, hot_pct: u8, hot_base: u64) -> u64 {
         let hot = self.region_of_bp(hot_bp);
         if self.rng.chance(u64::from(hot_pct), 100) {
-            (hot_base + self.rng.gen_range(hot / 64) * 64) % self.size
+            Self::wrap(hot_base + self.rng.gen_range(hot / 64) * 64, self.size)
         } else {
             self.rng.gen_range(self.size / 64) * 64
         }
@@ -186,7 +201,7 @@ impl TraceGen {
         if self.rng.chance(1, 8) {
             self.cold_cursor = self.rng.gen_range(self.size / 64) * 64;
         } else {
-            self.cold_cursor = (self.cold_cursor + 64) % self.size;
+            self.cold_cursor = Self::wrap(self.cold_cursor + 64, self.size);
         }
         self.cold_cursor
     }
@@ -195,7 +210,7 @@ impl TraceGen {
         let size = self.size;
         match self.pattern {
             PatternSpec::Stream { stride } | PatternSpec::Strided { stride } => {
-                self.cursor = (self.cursor + u64::from(stride)) % size;
+                self.cursor = Self::wrap(self.cursor + u64::from(stride), size);
                 self.cursor
             }
             PatternSpec::TiledStream {
@@ -213,7 +228,7 @@ impl TraceGen {
                         self.tile_start = (self.tile_start + tile) % size;
                     }
                 }
-                (self.tile_start + self.tile_walked) % size
+                Self::wrap(self.tile_start + self.tile_walked, size)
             }
             PatternSpec::Random => self.rng.gen_range(size / 8) * 8,
             PatternSpec::PointerChase { hot_bp, hot_pct } => self.hot_jump(hot_bp, hot_pct, 0),
@@ -248,7 +263,7 @@ impl TraceGen {
                 hot_pct,
             } => {
                 if self.rng.chance(u64::from(stream_pct), 100) {
-                    self.cursor = (self.cursor + u64::from(stride)) % size;
+                    self.cursor = Self::wrap(self.cursor + u64::from(stride), size);
                     self.cursor
                 } else {
                     self.hot_jump(hot_bp, hot_pct, 0)

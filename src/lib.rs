@@ -60,7 +60,9 @@ pub use workloads as traffic;
 
 pub use dram::{DramSystem, MemoryScheme, SchemeStats, Served};
 pub use hybrid2_core::{ConfigError, Dcmc, Hybrid2Config, Variant};
-pub use sim::{EvalConfig, Machine, Matrix, NmRatio, RunResult, ScaledSystem, SchemeKind};
+pub use sim::{
+    AnyScheme, EvalConfig, Machine, Matrix, NmRatio, RunResult, ScaledSystem, SchemeKind,
+};
 
 /// The most common imports in one place.
 pub mod prelude {

@@ -38,6 +38,83 @@ fn digest(r: &hybrid2::RunResult) -> (u64, u64, u64) {
     )
 }
 
+/// Pinned digests for every MAIN scheme on the golden (workload, seed):
+/// `(kind, instructions, cycles, nm_served ‱, fm_traffic, nm_traffic)`.
+/// Captured before the hot-path overhaul (PR 2) so every devirtualization
+/// or translation change is semantics-checked against the original code.
+const GOLDEN_MATRIX: [(SchemeKind, u64, u64, u64, u64, u64); 6] = [
+    (
+        SchemeKind::MemPod,
+        1_600_012,
+        2_032_561,
+        4_184,
+        5_314_432,
+        5_105_280,
+    ),
+    (
+        SchemeKind::Chameleon,
+        1_600_012,
+        1_516_939,
+        8_606,
+        3_592_576,
+        8_076_800,
+    ),
+    (
+        SchemeKind::Lgm,
+        1_600_012,
+        1_635_075,
+        3_180,
+        4_621_376,
+        3_562_304,
+    ),
+    (
+        SchemeKind::Tagless,
+        1_600_012,
+        697_736,
+        9_957,
+        1_593_344,
+        6_269_056,
+    ),
+    (
+        SchemeKind::Dfc,
+        1_600_012,
+        996_933,
+        9_830,
+        1_664_512,
+        8_786_496,
+    ),
+    (
+        SchemeKind::Hybrid2,
+        1_600_012,
+        680_909,
+        8_806,
+        4_495_872,
+        8_946_240,
+    ),
+];
+
+#[test]
+fn per_scheme_digest_matrix_is_stable() {
+    let spec = catalog::by_name(GOLDEN_WORKLOAD).unwrap();
+    for (kind, instructions, cycles, nm_served_bp, fm_traffic, nm_traffic) in GOLDEN_MATRIX {
+        let r = run_one(kind, spec, NmRatio::OneGb, &golden_cfg());
+        let got = (
+            r.instructions,
+            r.cycles,
+            (r.nm_served * 10_000.0).round() as u64,
+            r.fm_traffic,
+            r.nm_traffic,
+        );
+        assert_eq!(
+            got,
+            (instructions, cycles, nm_served_bp, fm_traffic, nm_traffic),
+            "golden digest moved for {kind:?}: got {got:?} — if this change \
+             is intentional, update GOLDEN_MATRIX and explain the semantic \
+             change in the commit message"
+        );
+    }
+}
+
 #[test]
 fn hybrid2_lbm_digest_is_stable() {
     let spec = catalog::by_name(GOLDEN_WORKLOAD).unwrap();

@@ -1,5 +1,10 @@
 //! Smoke tests for the experiment harness: each figure's report builds and
 //! contains the expected series at a tiny scale.
+//!
+//! Cases that run whole experiment grids are tier-2: marked `#[ignore]`
+//! and executed in release by the CI `full-sim` job
+//! (`FULL_SIM_TESTS=1 cargo test --release -- --ignored`), keeping plain
+//! `cargo test -q` fast as workloads grow.
 
 use hybrid2::harness::experiments;
 use hybrid2::prelude::*;
@@ -13,8 +18,21 @@ fn tiny() -> EvalConfig {
     }
 }
 
+/// Tier-2 gate: the heavy cases are `#[ignore]`d *and* insist on
+/// `FULL_SIM_TESTS=1`, so the slow tier never runs by accident and a bare
+/// `cargo test -- --ignored` fails fast with instructions instead of
+/// silently burning minutes.
+fn require_full_sim() {
+    assert!(
+        std::env::var_os("FULL_SIM_TESTS").is_some_and(|v| v == "1"),
+        "tier-2 full-sim test: run as FULL_SIM_TESTS=1 cargo test --release -- --ignored"
+    );
+}
+
 #[test]
+#[ignore = "tier-2 full-sim test: run via FULL_SIM_TESTS=1 cargo test --release -- --ignored (CI runs this tier on every PR)"]
 fn fig01_report_has_all_line_sizes() {
+    require_full_sim();
     let reports = experiments::fig01_wasted_data(&tiny(), true);
     assert_eq!(reports.len(), 1);
     let rendered = reports[0].render();
@@ -24,7 +42,9 @@ fn fig01_report_has_all_line_sizes() {
 }
 
 #[test]
+#[ignore = "tier-2 full-sim test: run via FULL_SIM_TESTS=1 cargo test --release -- --ignored (CI runs this tier on every PR)"]
 fn fig14_report_lists_all_variants() {
+    require_full_sim();
     let reports = experiments::fig14_breakdown(&tiny(), true);
     let rendered = reports[0].render();
     for v in Variant::ALL {
@@ -33,7 +53,9 @@ fn fig14_report_lists_all_variants() {
 }
 
 #[test]
+#[ignore = "tier-2 full-sim test: run via FULL_SIM_TESTS=1 cargo test --release -- --ignored (CI runs this tier on every PR)"]
 fn evalsuite_produces_five_reports() {
+    require_full_sim();
     let m = experiments::main_matrix(NmRatio::OneGb, &tiny(), true);
     let reports = [
         experiments::fig13_per_benchmark(&m),
@@ -52,7 +74,9 @@ fn evalsuite_produces_five_reports() {
 }
 
 #[test]
+#[ignore = "tier-2 full-sim test: run via FULL_SIM_TESTS=1 cargo test --release -- --ignored (CI runs this tier on every PR)"]
 fn table2_measures_all_smoke_workloads() {
+    require_full_sim();
     let reports = experiments::table2_characterization(&tiny(), true);
     let r = &reports[0];
     assert_eq!(r.rows.len(), 3);
@@ -63,7 +87,9 @@ fn table2_measures_all_smoke_workloads() {
 }
 
 #[test]
+#[ignore = "tier-2 full-sim test: run via FULL_SIM_TESTS=1 cargo test --release -- --ignored (CI runs this tier on every PR)"]
 fn ablation_reports_render() {
+    require_full_sim();
     for reports in [
         experiments::ablation_budget_period(&tiny(), true),
         experiments::ablation_stack_window(&tiny(), true),

@@ -9,7 +9,9 @@
 //!
 //! * [`Criterion`] with `default()`, `sample_size`, `bench_function` and
 //!   `benchmark_group`,
-//! * [`Bencher::iter`] with warm-up plus per-sample timing,
+//! * [`Bencher::iter`] with a doubling warm-up/calibration pass that picks
+//!   iterations-per-sample so each timed sample runs for ~2 ms (no more
+//!   single-iteration, timer-granularity medians),
 //! * the [`criterion_group!`] / [`criterion_main!`] macros (both the
 //!   simple and the `name/config/targets` forms),
 //! * [`black_box`].
@@ -118,18 +120,41 @@ impl Bencher {
     }
 }
 
+/// Per-sample wall-clock target for iteration calibration. Large enough
+/// that timer granularity and scheduling noise are amortised over many
+/// iterations of a fast routine; small enough that slow routines (one
+/// iteration already past the target) are not penalised.
+const TARGET_SAMPLE: Duration = Duration::from_millis(2);
+
+/// Upper bound on iterations per sample (backstop for sub-ns routines the
+/// optimiser may have gutted despite `black_box`).
+const MAX_ITERS: u64 = 1 << 22;
+
+/// Finds how many iterations one sample needs to run for at least
+/// [`TARGET_SAMPLE`]. Doubles from 1, so this doubles as the warm-up pass
+/// (sizing caches, page tables, lazy statics).
+fn calibrate_iters<F: FnMut(&mut Bencher)>(f: &mut F) -> u64 {
+    let mut iters: u64 = 1;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= TARGET_SAMPLE || iters >= MAX_ITERS {
+            return iters;
+        }
+        iters *= 2;
+    }
+}
+
 fn run_bench<F: FnMut(&mut Bencher)>(id: &str, samples: usize, f: &mut F) {
-    // Warm-up pass (also sizes caches, page tables, lazy statics).
-    let mut b = Bencher {
-        iters: 1,
-        elapsed: Duration::ZERO,
-    };
-    f(&mut b);
+    let iters = calibrate_iters(f);
 
     let mut ns: Vec<u128> = Vec::with_capacity(samples);
     for _ in 0..samples {
         let mut b = Bencher {
-            iters: 1,
+            iters,
             elapsed: Duration::ZERO,
         };
         f(&mut b);
@@ -140,7 +165,7 @@ fn run_bench<F: FnMut(&mut Bencher)>(id: &str, samples: usize, f: &mut F) {
     let min = ns[0];
     let mean = ns.iter().sum::<u128>() / ns.len() as u128;
     println!(
-        "{id:<48} time: [median {} mean {} min {}] ({} samples)",
+        "{id:<48} time: [median {} mean {} min {}] ({} samples x {iters} iters)",
         fmt_ns(median),
         fmt_ns(mean),
         fmt_ns(min),
@@ -156,7 +181,7 @@ fn run_bench<F: FnMut(&mut Bencher)>(id: &str, samples: usize, f: &mut F) {
                 let escaped = id.replace('\\', "\\\\").replace('"', "\\\"");
                 let _ = writeln!(
                     fh,
-                    "{{\"id\":\"{escaped}\",\"median_ns\":{median},\"mean_ns\":{mean},\"min_ns\":{min},\"samples\":{}}}",
+                    "{{\"id\":\"{escaped}\",\"median_ns\":{median},\"mean_ns\":{mean},\"min_ns\":{min},\"samples\":{},\"iters_per_sample\":{iters}}}",
                     ns.len()
                 );
             }
