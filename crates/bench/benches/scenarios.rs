@@ -1,0 +1,44 @@
+//! Scenario-engine throughput: one `run_one` per scenario family under
+//! Hybrid2 (composite-generator overhead rides the same per-op pipeline as
+//! `e2e_throughput`), plus the whole 8-scenario MAIN-scheme grid through
+//! the work-stealing `Matrix` — the number the scheduler swap is judged
+//! against. Captured to `BENCH_scenarios.json` via `CRITERION_SHIM_JSON`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sim::{scenario, EvalConfig, NmRatio, SchemeKind};
+use workloads::scenarios;
+
+fn scenario_throughput(c: &mut Criterion) {
+    let cfg = EvalConfig::smoke();
+    let mut group = c.benchmark_group("scenario");
+    group.sample_size(7);
+    // One phased and one mix scenario: composite-generator cost end to end.
+    for name in ["tile-chase-drift", "stream-chase"] {
+        let spec = scenarios::workload_of(name).expect("scenario exists");
+        group.bench_function(format!("run_one/{name}"), |b| {
+            b.iter(|| sim::run_one(SchemeKind::Hybrid2, spec, NmRatio::OneGb, &cfg))
+        });
+    }
+    group.finish();
+
+    // The full grid through the work-stealing matrix, at a reduced window
+    // so one sample stays in bench territory.
+    let grid_cfg = EvalConfig {
+        instrs_per_core: 100_000,
+        ..EvalConfig::smoke()
+    };
+    let scens = scenario::select("all").expect("catalog is non-empty");
+    let mut grid = c.benchmark_group("scenario_grid");
+    grid.sample_size(3);
+    grid.bench_function("matrix/all8_main6", |b| {
+        b.iter(|| scenario::run_grid(&scens, NmRatio::OneGb, &grid_cfg))
+    });
+    grid.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = scenario_throughput
+}
+criterion_main!(benches);

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! cargo run -p sim --release --bin reproduce -- --exp fig12 [options]
+//! cargo run -p sim --release --bin reproduce -- scenario <name|all> [options]
 //!
 //! options:
 //!   --exp <id>        experiment id (fig01..fig18, table2, abl-budget,
@@ -12,54 +13,125 @@
 //!   --seed <n>        RNG seed                            [default: 2020]
 //!   --threads <n>     worker threads                      [default: #cpus]
 //!   --list            list experiment ids and exit
+//!
+//! scenario subcommand (phased / multi-program workloads):
+//!   scenario <name|all>   run one named scenario or the whole catalog
+//!   --ratio <1gb|2gb|4gb> NM:FM ratio                     [default: 1gb]
+//!   --list                list the scenario catalog and exit
+//!   (--scale/--instrs/--seed/--threads apply as above)
 //! ```
 
 use sim::experiments::{run_by_id, ALL_EXPERIMENTS};
-use sim::EvalConfig;
+use sim::{scenario, EvalConfig, NmRatio};
+
+/// The integer value of flag `args[i]`, or a panic in the flag's name.
+fn flag_value<T: std::str::FromStr>(args: &[String], i: usize, name: &str) -> T {
+    args.get(i + 1)
+        .unwrap_or_else(|| panic!("{name} needs a value"))
+        .parse()
+        .unwrap_or_else(|_| panic!("{name} must be an integer"))
+}
+
+/// Consumes one of the sizing flags shared by every subcommand
+/// (`--scale/--instrs/--seed/--threads`) at `args[i]`, returning the next
+/// index, or `None` if `args[i]` is some other argument.
+fn parse_sizing_flag(cfg: &mut EvalConfig, args: &[String], i: usize) -> Option<usize> {
+    match args[i].as_str() {
+        "--scale" => cfg.scale_den = flag_value(args, i, "--scale"),
+        "--instrs" => cfg.instrs_per_core = flag_value(args, i, "--instrs"),
+        "--seed" => cfg.seed = flag_value(args, i, "--seed"),
+        "--threads" => cfg.threads = flag_value(args, i, "--threads"),
+        _ => return None,
+    }
+    Some(i + 2)
+}
+
+/// Parses and runs `reproduce scenario …`; `args` excludes the leading
+/// `"scenario"` token.
+fn scenario_main(args: &[String]) -> ! {
+    let mut cfg = EvalConfig::default_eval();
+    let mut ratio = NmRatio::OneGb;
+    let mut selector: Option<String> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(next) = parse_sizing_flag(&mut cfg, args, i) {
+            i = next;
+            continue;
+        }
+        match args[i].as_str() {
+            "--ratio" => {
+                let v = args.get(i + 1).expect("--ratio needs a value");
+                ratio = match v.as_str() {
+                    "1gb" => NmRatio::OneGb,
+                    "2gb" => NmRatio::TwoGb,
+                    "4gb" => NmRatio::FourGb,
+                    other => {
+                        eprintln!("unknown ratio {other:?}; use 1gb, 2gb or 4gb");
+                        std::process::exit(2);
+                    }
+                };
+                i += 2;
+            }
+            "--list" => {
+                println!("{}", scenario::catalog_report().render());
+                std::process::exit(0);
+            }
+            name if !name.starts_with('-') && selector.is_none() => {
+                selector = Some(name.to_owned());
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown scenario argument {other:?}; see the module docs for usage");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let selector = selector.unwrap_or_else(|| {
+        eprintln!("usage: reproduce scenario <name|all> [--ratio 1gb|2gb|4gb] …");
+        std::process::exit(2);
+    });
+    let Some(scens) = scenario::select(&selector) else {
+        eprintln!("unknown scenario {selector:?}; catalog:");
+        eprintln!("{}", scenario::catalog_report().render());
+        std::process::exit(2);
+    };
+    eprintln!(
+        "running {} scenario(s) at 1/{} scale, {} instrs/core, NM {}, {} threads",
+        scens.len(),
+        cfg.scale_den,
+        cfg.instrs_per_core,
+        ratio.label(),
+        cfg.threads
+    );
+    let started = std::time::Instant::now();
+    let m = scenario::run_grid(&scens, ratio, &cfg);
+    for report in scenario::grid_reports(&m) {
+        println!("{}", report.render());
+    }
+    eprintln!("done in {:.1}s", started.elapsed().as_secs_f64());
+    std::process::exit(0);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().is_some_and(|a| a == "scenario") {
+        scenario_main(&args[1..]);
+    }
     let mut exp = "evalsuite".to_owned();
     let mut cfg = EvalConfig::default_eval();
     let mut smoke = false;
 
     let mut i = 0;
     while i < args.len() {
+        if let Some(next) = parse_sizing_flag(&mut cfg, &args, i) {
+            i = next;
+            continue;
+        }
         match args[i].as_str() {
             "--exp" => {
                 exp = args.get(i + 1).expect("--exp needs a value").clone();
-                i += 2;
-            }
-            "--scale" => {
-                cfg.scale_den = args
-                    .get(i + 1)
-                    .expect("--scale needs a value")
-                    .parse()
-                    .expect("--scale must be an integer");
-                i += 2;
-            }
-            "--instrs" => {
-                cfg.instrs_per_core = args
-                    .get(i + 1)
-                    .expect("--instrs needs a value")
-                    .parse()
-                    .expect("--instrs must be an integer");
-                i += 2;
-            }
-            "--seed" => {
-                cfg.seed = args
-                    .get(i + 1)
-                    .expect("--seed needs a value")
-                    .parse()
-                    .expect("--seed must be an integer");
-                i += 2;
-            }
-            "--threads" => {
-                cfg.threads = args
-                    .get(i + 1)
-                    .expect("--threads needs a value")
-                    .parse()
-                    .expect("--threads must be an integer");
                 i += 2;
             }
             "--smoke" => {

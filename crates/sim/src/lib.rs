@@ -16,6 +16,8 @@
 //!   normalized traffic/energy, computed in parallel.
 //! * [`experiments`] — `fig01` … `fig18`, `table2` and the extra ablations,
 //!   each returning a printable [`report::Report`].
+//! * [`scenario`] — the phased / multi-program scenario grid behind the
+//!   `reproduce scenario` subcommand.
 //!
 //! # Example
 //!
@@ -41,6 +43,7 @@ mod page_alloc;
 pub mod report;
 mod runner;
 mod scale;
+pub mod scenario;
 
 pub use any_scheme::AnyScheme;
 pub use machine::{Machine, RunResult};

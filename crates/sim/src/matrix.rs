@@ -1,7 +1,8 @@
-//! The scheme × workload evaluation grid, run in parallel.
+//! The scheme × workload evaluation grid, run in parallel on a
+//! work-stealing scheduler.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::collections::VecDeque;
+use std::sync::{Mutex, OnceLock};
 
 use sim_types::stats::geomean;
 use workloads::{MpkiClass, WorkloadSpec};
@@ -84,55 +85,110 @@ struct Job {
     kind: SchemeKind,
 }
 
+/// The grid's job list in slot order: baseline rows first, then each
+/// scheme in `kinds` order — the layout [`Matrix::assemble`] expects.
+fn slot_jobs(kinds: &[SchemeKind], specs: &[&'static WorkloadSpec]) -> Vec<Job> {
+    let mut jobs: Vec<Job> = Vec::new();
+    for (w, _) in specs.iter().enumerate() {
+        jobs.push(Job {
+            slot: w,
+            w,
+            kind: SchemeKind::Baseline,
+        });
+    }
+    for (s, &kind) in kinds.iter().enumerate() {
+        for (w, _) in specs.iter().enumerate() {
+            jobs.push(Job {
+                slot: (s + 1) * specs.len() + w,
+                w,
+                kind,
+            });
+        }
+    }
+    jobs
+}
+
+/// The job list in LPT (longest-processing-time-first) dispatch order,
+/// descending cost with slot order breaking ties, so scheduling stays
+/// deterministic.
+fn lpt_jobs(kinds: &[SchemeKind], specs: &[&'static WorkloadSpec]) -> Vec<Job> {
+    let mut jobs = slot_jobs(kinds, specs);
+    jobs.sort_by(|a, b| {
+        job_cost(b.kind, specs[b.w])
+            .cmp(&job_cost(a.kind, specs[a.w]))
+            .then(a.slot.cmp(&b.slot))
+    });
+    jobs
+}
+
+/// Per-worker deque of a work-stealing scheduler in the chase-lev shape:
+/// the owner pops from the front of its own deque (where its costliest
+/// LPT-assigned jobs sit), thieves steal from the back (the victim's
+/// cheapest remaining work). Lock-free chase-lev needs a raw circular
+/// buffer, which `#![forbid(unsafe_code)]` rules out, so each deque is a
+/// `Mutex<VecDeque>` — at grid granularity (each job is a whole
+/// simulation, milliseconds to seconds) the lock is nanoseconds of noise.
+struct StealQueue {
+    jobs: Mutex<VecDeque<Job>>,
+}
+
+impl StealQueue {
+    fn new(jobs: VecDeque<Job>) -> Self {
+        StealQueue {
+            jobs: Mutex::new(jobs),
+        }
+    }
+
+    /// Owner path: take my next (costliest) job.
+    fn pop_own(&self) -> Option<Job> {
+        self.jobs.lock().expect("queue lock poisoned").pop_front()
+    }
+
+    /// Thief path: take the victim's last (cheapest) job.
+    fn steal(&self) -> Option<Job> {
+        self.jobs.lock().expect("queue lock poisoned").pop_back()
+    }
+}
+
 impl Matrix {
-    /// Runs the grid using `cfg.threads` worker threads. Deterministic:
-    /// every cell depends only on (scheme, workload, ratio, cfg) — the
-    /// LPT dispatch order and thread interleaving affect wall-clock only.
+    /// Runs the grid on `cfg.threads` work-stealing workers. Deterministic
+    /// output: every cell is a pure function of (scheme, workload, ratio,
+    /// cfg) and lands in its own [`OnceLock`] slot, so steal order and
+    /// thread interleaving affect wall-clock only — the assembled `Matrix`
+    /// is byte-identical to [`Matrix::run_sequential`].
     pub fn run(
         kinds: &[SchemeKind],
         specs: &[&'static WorkloadSpec],
         ratio: NmRatio,
         cfg: &EvalConfig,
     ) -> Matrix {
-        // Job list: baseline first, then each scheme.
-        let mut jobs: Vec<Job> = Vec::new();
-        for (w, _) in specs.iter().enumerate() {
-            jobs.push(Job {
-                slot: w,
-                w,
-                kind: SchemeKind::Baseline,
-            });
-        }
-        for (s, &kind) in kinds.iter().enumerate() {
-            for (w, _) in specs.iter().enumerate() {
-                jobs.push(Job {
-                    slot: (s + 1) * specs.len() + w,
-                    w,
-                    kind,
-                });
-            }
-        }
-        // Longest-processing-time-first keeps the stragglers off the end
-        // of the schedule, cutting tail latency when jobs ≫ workers; slot
-        // order breaks ties so dispatch stays deterministic.
-        jobs.sort_by(|a, b| {
-            job_cost(b.kind, specs[b.w])
-                .cmp(&job_cost(a.kind, specs[a.w]))
-                .then(a.slot.cmp(&b.slot))
-        });
-        // Each worker writes its own slot: per-slot OnceLocks need no
-        // shared lock on the result vector.
+        let jobs = lpt_jobs(kinds, specs);
         let results: Vec<OnceLock<RunResult>> = jobs.iter().map(|_| OnceLock::new()).collect();
-        let next = AtomicUsize::new(0);
         let workers = cfg.threads.max(1).min(jobs.len().max(1));
+        // Deal the LPT-sorted jobs round-robin, so every deque starts with
+        // its share of heavy jobs up front and light ones at the back —
+        // owners chew the heavy front, thieves nibble the light back.
+        let mut queues: Vec<VecDeque<Job>> = (0..workers).map(|_| VecDeque::new()).collect();
+        for (i, job) in jobs.iter().enumerate() {
+            queues[i % workers].push_back(*job);
+        }
+        let queues: Vec<StealQueue> = queues.into_iter().map(StealQueue::new).collect();
         std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= jobs.len() {
+            for me in 0..workers {
+                let queues = &queues;
+                let results = &results;
+                scope.spawn(move || loop {
+                    // Own deque first; then sweep the other deques as a
+                    // thief. New jobs are never produced, so finding every
+                    // deque empty means the grid is fully claimed.
+                    let job = queues[me].pop_own().or_else(|| {
+                        (1..workers)
+                            .map(|d| (me + d) % workers)
+                            .find_map(|v| queues[v].steal())
+                    });
+                    let Some(Job { slot, w, kind }) = job else {
                         break;
-                    }
-                    let Job { slot, w, kind } = jobs[i];
+                    };
                     let r = run_one(kind, specs[w], ratio, cfg);
                     results[slot]
                         .set(r)
@@ -140,11 +196,38 @@ impl Matrix {
                 });
             }
         });
-        let mut flat: Vec<RunResult> = results
+        let flat: Vec<RunResult> = results
             .into_iter()
             .map(|cell| cell.into_inner().expect("every job ran"))
             .collect();
+        Matrix::assemble(kinds, specs, ratio, flat)
+    }
 
+    /// Single-threaded reference scheduler: runs the same job list in slot
+    /// order on the calling thread. Exists so differential tests can pin
+    /// the work-stealing scheduler's output against an implementation with
+    /// no scheduling freedom at all.
+    pub fn run_sequential(
+        kinds: &[SchemeKind],
+        specs: &[&'static WorkloadSpec],
+        ratio: NmRatio,
+        cfg: &EvalConfig,
+    ) -> Matrix {
+        let flat: Vec<RunResult> = slot_jobs(kinds, specs)
+            .iter()
+            .map(|j| run_one(j.kind, specs[j.w], ratio, cfg))
+            .collect();
+        Matrix::assemble(kinds, specs, ratio, flat)
+    }
+
+    /// Splits the flat slot-ordered result vector into baseline + scheme
+    /// rows.
+    fn assemble(
+        kinds: &[SchemeKind],
+        specs: &[&'static WorkloadSpec],
+        ratio: NmRatio,
+        mut flat: Vec<RunResult>,
+    ) -> Matrix {
         let baseline: Vec<RunResult> = flat.drain(..specs.len()).collect();
         let mut schemes = Vec::with_capacity(kinds.len());
         for &kind in kinds {

@@ -19,6 +19,13 @@
 //! same relative footprints. The `table2` experiment in the `sim` crate
 //! regenerates the characterization table for comparison.
 //!
+//! Beyond the stationary Table 2 stand-ins, [`scenarios`] names composite
+//! workloads built from two extra pattern combinators —
+//! [`PatternSpec::Phased`] (exact-budget phase changes) and
+//! [`PatternSpec::Mix`] (deterministic multi-program interleaves in
+//! disjoint footprint slices) — exercising the access-pattern *dynamics*
+//! the paper's eviction-time migration claims to adapt to.
+//!
 //! # Example
 //!
 //! ```
@@ -36,9 +43,11 @@
 
 pub mod catalog;
 mod patterns;
+pub mod scenarios;
 mod spec;
 
-pub use patterns::{PatternSpec, TraceGen};
+pub use patterns::{MixPart, PatternSpec, Phase, TraceGen};
+pub use scenarios::ScenarioSpec;
 pub use spec::{MpkiClass, PaperRow, WorkloadKind, WorkloadSpec};
 
 use sim_types::rng::SplitMix64;

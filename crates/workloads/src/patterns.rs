@@ -84,6 +84,96 @@ pub enum PatternSpec {
         /// Percentage of gathers that stay in the hot region.
         hot_pct: u8,
     },
+    /// Concatenation of leaf patterns with exact per-phase op budgets —
+    /// program *phase changes* (hot-set drift, compute/IO alternation)
+    /// that single-phase loops never exercise. The phase list cycles
+    /// indefinitely: after the last phase's budget is spent the stream
+    /// re-enters phase 0 (trace sources are unbounded by contract).
+    Phased {
+        /// The phases, in execution order. Must be non-empty, each with a
+        /// non-zero op budget and a leaf (non-composite) pattern.
+        phases: &'static [Phase],
+    },
+    /// Deterministic weighted interleave of 2–4 co-running programs, each
+    /// confined to its own disjoint slice of the footprint — multi-program
+    /// co-run interference (a bandwidth hog next to a latency-sensitive
+    /// hot-set walker). The interleave schedule is a smooth weighted
+    /// round-robin fixed at construction, so the op stream is a pure
+    /// function of the spec and seed.
+    Mix {
+        /// The co-running programs. Must be 2–4 parts, each with a leaf
+        /// pattern, a non-zero weight, and slices that fit the region.
+        parts: &'static [MixPart],
+    },
+}
+
+/// One phase of a [`PatternSpec::Phased`] stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Phase {
+    /// Leaf pattern driving this phase.
+    pub pattern: PatternSpec,
+    /// Memory references generated before the next phase begins. The
+    /// boundary is exact: op `sum(budgets so far)` is the last op of the
+    /// phase and the very next op comes from the following phase.
+    pub ops: u64,
+}
+
+/// One co-running program of a [`PatternSpec::Mix`] stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MixPart {
+    /// Leaf pattern of this program.
+    pub pattern: PatternSpec,
+    /// Mean instructions per memory reference for this program.
+    pub mem_every: u32,
+    /// Store share of this program's references, in percent.
+    pub write_pct: u8,
+    /// This program's slice of the footprint, in basis points (the slices
+    /// are laid out back-to-back from the region base; each is at least
+    /// 4 KB, and together they must fit the region).
+    pub span_bp: u32,
+    /// Relative share of the interleave: ops per schedule round.
+    pub weight: u8,
+}
+
+impl PatternSpec {
+    /// True for the composite scenario patterns ([`PatternSpec::Phased`],
+    /// [`PatternSpec::Mix`]); leaf patterns generate addresses directly.
+    pub fn is_composite(&self) -> bool {
+        matches!(self, PatternSpec::Phased { .. } | PatternSpec::Mix { .. })
+    }
+
+    /// The largest `mem_every` any op of this pattern can be generated
+    /// with: `default` for leaf and phased patterns (phases inherit the
+    /// spec's intensity), the max over parts for a mix (each part has its
+    /// own). Bounds the per-op gap for instruction-accounting invariants.
+    pub fn max_mem_every(&self, default: u32) -> u32 {
+        match self {
+            PatternSpec::Mix { parts } => parts.iter().map(|p| p.mem_every).fold(default, u32::max),
+            _ => default,
+        }
+    }
+}
+
+/// The smooth weighted-round-robin interleave order for `weights`: a cycle
+/// of `sum(weights)` part indices in which each part appears `weight` times,
+/// spread as evenly as possible (classic smooth-WRR: add each weight every
+/// step, emit the largest accumulator, subtract the total). Deterministic,
+/// ties broken by lowest index.
+fn wrr_order(weights: &[u8]) -> Vec<u8> {
+    let total: i64 = weights.iter().map(|&w| i64::from(w)).sum();
+    let mut current = vec![0i64; weights.len()];
+    let mut order = Vec::with_capacity(total as usize);
+    for _ in 0..total {
+        for (c, &w) in current.iter_mut().zip(weights) {
+            *c += i64::from(w);
+        }
+        let best = (0..current.len())
+            .max_by_key(|&i| (current[i], std::cmp::Reverse(i)))
+            .expect("mix has at least one part");
+        current[best] -= total;
+        order.push(best as u8);
+    }
+    order
 }
 
 /// A deterministic, unbounded trace generator for one hardware thread.
@@ -110,6 +200,22 @@ pub struct TraceGen {
     tile_rep: u8,
     ops: u64,
     hot_base: u64,
+    /// Sub-generators of a composite pattern (empty for leaf patterns).
+    kids: Vec<TraceGen>,
+    /// Which kid produces the next op (leaf patterns generate directly).
+    sched: Sched,
+}
+
+/// Delegation state of a composite [`TraceGen`].
+#[derive(Clone, Debug)]
+enum Sched {
+    /// Leaf pattern: no delegation.
+    Leaf,
+    /// Phased: kid `idx` produces the next `left` ops, then the next phase
+    /// (cyclically) takes over with a fresh budget.
+    Phased { idx: usize, left: u64 },
+    /// Mix: `order[pos]` names the kid producing the next op.
+    Mix { order: Vec<u8>, pos: usize },
 }
 
 impl TraceGen {
@@ -119,7 +225,10 @@ impl TraceGen {
     /// # Panics
     ///
     /// Panics if `size` is smaller than 4 KB (degenerate regions make the
-    /// pattern arithmetic meaningless).
+    /// pattern arithmetic meaningless), or if a composite pattern is
+    /// structurally invalid: empty/zero-budget phases, nested composites,
+    /// fewer than 2 or more than 4 mix parts, zero mix weights, or mix
+    /// slices that do not fit the region.
     pub fn new(
         pattern: PatternSpec,
         mem_every: u32,
@@ -127,12 +236,91 @@ impl TraceGen {
         base: u64,
         size: u64,
         shared_bytes: u64,
-        rng: SplitMix64,
+        mut rng: SplitMix64,
     ) -> Self {
         assert!(
             size >= 4096,
             "trace region must be at least 4 KB, got {size}"
         );
+        let (kids, sched) = match pattern {
+            PatternSpec::Phased { phases } => {
+                assert!(!phases.is_empty(), "Phased needs at least one phase");
+                let kids = phases
+                    .iter()
+                    .map(|ph| {
+                        assert!(!ph.pattern.is_composite(), "phases must be leaf patterns");
+                        assert!(ph.ops > 0, "phase op budgets must be non-zero");
+                        let fork = rng.fork();
+                        TraceGen::new(
+                            ph.pattern,
+                            mem_every,
+                            write_pct,
+                            base,
+                            size,
+                            shared_bytes,
+                            fork,
+                        )
+                    })
+                    .collect();
+                (
+                    kids,
+                    Sched::Phased {
+                        idx: 0,
+                        left: phases[0].ops,
+                    },
+                )
+            }
+            PatternSpec::Mix { parts } => {
+                assert!(
+                    (2..=4).contains(&parts.len()),
+                    "Mix needs 2-4 parts, got {}",
+                    parts.len()
+                );
+                // Mix models *private* co-running programs: parts never
+                // reference a shared region, so a shared (MT) address
+                // space would silently lose its documented ~1/8 shared
+                // traffic. Reject it instead of dropping it.
+                assert!(
+                    shared_bytes == 0,
+                    "Mix parts are private programs; use an MP (private \
+                     address space) workload kind, got shared_bytes={shared_bytes}"
+                );
+                let mut offset = 0u64;
+                let kids: Vec<TraceGen> = parts
+                    .iter()
+                    .map(|p| {
+                        assert!(!p.pattern.is_composite(), "mix parts must be leaf patterns");
+                        assert!(p.weight > 0, "mix part weights must be non-zero");
+                        let span = (size * u64::from(p.span_bp) / 10_000).max(4096);
+                        let fork = rng.fork();
+                        let kid = TraceGen::new(
+                            p.pattern,
+                            p.mem_every,
+                            p.write_pct,
+                            base + offset,
+                            span,
+                            0,
+                            fork,
+                        );
+                        offset += span;
+                        kid
+                    })
+                    .collect();
+                assert!(
+                    offset <= size,
+                    "mix slices overflow the region: {offset} > {size}"
+                );
+                let weights: Vec<u8> = parts.iter().map(|p| p.weight).collect();
+                (
+                    kids,
+                    Sched::Mix {
+                        order: wrr_order(&weights),
+                        pos: 0,
+                    },
+                )
+            }
+            _ => (Vec::new(), Sched::Leaf),
+        };
         TraceGen {
             pattern,
             mem_every: mem_every.max(1),
@@ -148,12 +336,31 @@ impl TraceGen {
             tile_rep: 0,
             ops: 0,
             hot_base: 0,
+            kids,
+            sched,
         }
     }
 
     /// The pattern this generator follows.
     pub fn pattern(&self) -> PatternSpec {
         self.pattern
+    }
+
+    /// For a [`PatternSpec::Phased`] generator: the index of the phase the
+    /// *next* op will come from. `None` for every other pattern.
+    pub fn phase_index(&self) -> Option<usize> {
+        match &self.sched {
+            Sched::Phased { idx, left } => {
+                // A spent budget means the next op re-enters the following
+                // phase (cyclically) even though `idx` has not advanced yet.
+                if *left == 0 {
+                    Some((*idx + 1) % self.kids.len())
+                } else {
+                    Some(*idx)
+                }
+            }
+            _ => None,
+        }
     }
 
     /// Exactly `x % m`, but the per-op common case (`x` already below `m`
@@ -269,12 +476,38 @@ impl TraceGen {
                     self.hot_jump(hot_bp, hot_pct, 0)
                 }
             }
+            PatternSpec::Phased { .. } | PatternSpec::Mix { .. } => {
+                unreachable!("composite patterns delegate to sub-generators")
+            }
         }
     }
 }
 
 impl TraceSource for TraceGen {
     fn next_op(&mut self) -> Option<TraceOp> {
+        // Composite patterns delegate the whole op (address, gap, r/w) to
+        // the scheduled sub-generator; only its state advances, so phase
+        // and part streams are independent of the interleave around them.
+        match &mut self.sched {
+            Sched::Leaf => {}
+            Sched::Phased { idx, left } => {
+                if *left == 0 {
+                    let PatternSpec::Phased { phases } = self.pattern else {
+                        unreachable!("Phased sched implies Phased pattern")
+                    };
+                    *idx = (*idx + 1) % self.kids.len();
+                    *left = phases[*idx].ops;
+                }
+                *left -= 1;
+                let i = *idx;
+                return self.kids[i].next_op();
+            }
+            Sched::Mix { order, pos } => {
+                let k = order[*pos] as usize;
+                *pos = (*pos + 1) % order.len();
+                return self.kids[k].next_op();
+            }
+        }
         self.ops += 1;
         let gap = self.gap();
         // Shared-region reference (MT workloads only): 1 in 8. Shared
@@ -556,6 +789,197 @@ mod tests {
             assert_eq!(op.gap, 0);
         }
     }
+
+    #[test]
+    fn wrr_order_is_smooth_and_exact() {
+        assert_eq!(wrr_order(&[2, 1]), vec![0, 1, 0]);
+        assert_eq!(wrr_order(&[1, 1]), vec![0, 1]);
+        let order = wrr_order(&[3, 1, 2]);
+        assert_eq!(order.len(), 6);
+        for part in 0..3u8 {
+            let n = order.iter().filter(|&&p| p == part).count();
+            assert_eq!(n, [3, 1, 2][part as usize], "part {part} share");
+        }
+        // Smooth: the heaviest part never runs 3 times back-to-back.
+        for w in order.windows(3) {
+            assert!(!(w[0] == w[1] && w[1] == w[2]), "clumped: {order:?}");
+        }
+    }
+
+    #[test]
+    fn phased_switches_exactly_on_budgets_and_cycles() {
+        static PHASES: [Phase; 2] = [
+            Phase {
+                pattern: PatternSpec::Stream { stride: 64 },
+                ops: 100,
+            },
+            Phase {
+                pattern: PatternSpec::Random,
+                ops: 40,
+            },
+        ];
+        let mut g = gen(PatternSpec::Phased { phases: &PHASES }, 1 << 20);
+        // Two full cycles: ops 0..100 from phase 0, 100..140 from phase 1,
+        // 140..240 from phase 0 again, …
+        for n in 0..280u64 {
+            let expect = if n % 140 < 100 { 0 } else { 1 };
+            assert_eq!(
+                g.phase_index(),
+                Some(expect),
+                "op {n} attributed to the wrong phase"
+            );
+            let _ = g.next_op().unwrap();
+        }
+    }
+
+    #[test]
+    fn phased_stream_phase_is_really_sequential() {
+        static PHASES: [Phase; 2] = [
+            Phase {
+                pattern: PatternSpec::Stream { stride: 8 },
+                ops: 50,
+            },
+            Phase {
+                pattern: PatternSpec::Random,
+                ops: 50,
+            },
+        ];
+        let mut g = gen(PatternSpec::Phased { phases: &PHASES }, 1 << 20);
+        let ops = collect(&mut g, 50);
+        for w in ops.windows(2) {
+            let (a, b) = (w[0].addr.raw(), w[1].addr.raw());
+            assert!(b == a + 8 || b == 0, "phase-0 stream must be sequential");
+        }
+    }
+
+    #[test]
+    fn mix_parts_stay_in_their_slices() {
+        static PARTS: [MixPart; 2] = [
+            MixPart {
+                pattern: PatternSpec::Stream { stride: 8 },
+                mem_every: 5,
+                write_pct: 30,
+                span_bp: 5000,
+                weight: 2,
+            },
+            MixPart {
+                pattern: PatternSpec::Random,
+                mem_every: 50,
+                write_pct: 10,
+                span_bp: 4000,
+                weight: 1,
+            },
+        ];
+        let size = 1u64 << 20;
+        let mut g = gen(PatternSpec::Mix { parts: &PARTS }, size);
+        let span0 = size * 5000 / 10_000;
+        let span1 = size * 4000 / 10_000;
+        let order = wrr_order(&[2, 1]);
+        for n in 0..3000usize {
+            let op = g.next_op().unwrap();
+            let a = op.addr.raw();
+            match order[n % order.len()] {
+                0 => assert!(a < span0, "part 0 escaped its slice: {a:#x}"),
+                _ => assert!(
+                    (span0..span0 + span1).contains(&a),
+                    "part 1 escaped its slice: {a:#x}"
+                ),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "private programs")]
+    fn mix_rejects_shared_address_space() {
+        static PARTS: [MixPart; 2] = [
+            MixPart {
+                pattern: PatternSpec::Random,
+                mem_every: 5,
+                write_pct: 0,
+                span_bp: 4000,
+                weight: 1,
+            },
+            MixPart {
+                pattern: PatternSpec::Random,
+                mem_every: 5,
+                write_pct: 0,
+                span_bp: 4000,
+                weight: 1,
+            },
+        ];
+        let _ = TraceGen::new(
+            PatternSpec::Mix { parts: &PARTS },
+            5,
+            0,
+            0,
+            1 << 20,
+            8192,
+            SplitMix64::new(1),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow the region")]
+    fn oversized_mix_slices_rejected() {
+        static PARTS: [MixPart; 2] = [
+            MixPart {
+                pattern: PatternSpec::Random,
+                mem_every: 5,
+                write_pct: 0,
+                span_bp: 9000,
+                weight: 1,
+            },
+            MixPart {
+                pattern: PatternSpec::Random,
+                mem_every: 5,
+                write_pct: 0,
+                span_bp: 9000,
+                weight: 1,
+            },
+        ];
+        let _ = gen(PatternSpec::Mix { parts: &PARTS }, 1 << 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "leaf patterns")]
+    fn nested_composites_rejected() {
+        static INNER: [Phase; 1] = [Phase {
+            pattern: PatternSpec::Random,
+            ops: 10,
+        }];
+        static OUTER: [Phase; 1] = [Phase {
+            pattern: PatternSpec::Phased { phases: &INNER },
+            ops: 10,
+        }];
+        let _ = gen(PatternSpec::Phased { phases: &OUTER }, 1 << 20);
+    }
+
+    #[test]
+    fn max_mem_every_covers_mix_parts() {
+        static PARTS: [MixPart; 2] = [
+            MixPart {
+                pattern: PatternSpec::Random,
+                mem_every: 500,
+                write_pct: 0,
+                span_bp: 4000,
+                weight: 1,
+            },
+            MixPart {
+                pattern: PatternSpec::Random,
+                mem_every: 5,
+                write_pct: 0,
+                span_bp: 4000,
+                weight: 1,
+            },
+        ];
+        assert_eq!(PatternSpec::Mix { parts: &PARTS }.max_mem_every(10), 500);
+        assert_eq!(PatternSpec::Random.max_mem_every(10), 10);
+        static PHASES: [Phase; 1] = [Phase {
+            pattern: PatternSpec::Random,
+            ops: 10,
+        }];
+        assert_eq!(PatternSpec::Phased { phases: &PHASES }.max_mem_every(7), 7);
+    }
 }
 
 #[cfg(test)]
@@ -610,6 +1034,109 @@ mod proptests {
             let (mut a, mut b) = (mk(), mk());
             for _ in 0..200 {
                 prop_assert_eq!(a.next_op(), b.next_op());
+            }
+        }
+
+        /// Phased streams stay inside the declared region and attribute
+        /// every op to the phase its budget dictates — boundaries land
+        /// exactly on the per-phase op counts, cycle after cycle.
+        #[test]
+        fn phased_stays_in_bounds_with_exact_boundaries(
+            raw in proptest::collection::vec((arb_pattern(), 1u64..600), 1..4),
+            base in (0u64..1u64<<30).prop_map(|b| b & !4095),
+            seed in any::<u64>(),
+        ) {
+            let phases: &'static [Phase] = Box::leak(
+                raw.iter()
+                    .map(|&(pattern, ops)| Phase { pattern, ops })
+                    .collect::<Vec<_>>()
+                    .into_boxed_slice(),
+            );
+            let size = 1u64 << 20;
+            let mut g = TraceGen::new(
+                PatternSpec::Phased { phases }, 5, 20, base, size, 0, SplitMix64::new(seed),
+            );
+            for cycle in 0..2 {
+                for (i, ph) in phases.iter().enumerate() {
+                    for k in 0..ph.ops {
+                        prop_assert_eq!(
+                            g.phase_index(), Some(i),
+                            "cycle {} phase {} op {} misattributed", cycle, i, k
+                        );
+                        let a = g.next_op().unwrap().addr.raw();
+                        prop_assert!(a >= base && a < base + size,
+                            "phased escaped: {:#x}", a);
+                    }
+                }
+            }
+        }
+
+        /// Every mix op stays inside the slice of the exact part the
+        /// deterministic interleave schedules for it.
+        #[test]
+        fn mix_ops_confined_to_scheduled_part(
+            raw in proptest::collection::vec(
+                (arb_pattern(), 1u32..300, 0u8..=100, 500u32..2400, 1u8..6), 2..5),
+            seed in any::<u64>(),
+        ) {
+            let parts: &'static [MixPart] = Box::leak(
+                raw.iter()
+                    .map(|&(pattern, mem_every, write_pct, span_bp, weight)| MixPart {
+                        pattern, mem_every, write_pct, span_bp, weight,
+                    })
+                    .collect::<Vec<_>>()
+                    .into_boxed_slice(),
+            );
+            let size = 1u64 << 20;
+            let mut g = TraceGen::new(
+                PatternSpec::Mix { parts }, 5, 20, 0, size, 0, SplitMix64::new(seed),
+            );
+            // Recompute the slices and schedule the way the constructor
+            // does; the generator must agree op for op.
+            let mut slices = Vec::new();
+            let mut offset = 0u64;
+            for p in parts {
+                let span = (size * u64::from(p.span_bp) / 10_000).max(4096);
+                slices.push(offset..offset + span);
+                offset += span;
+            }
+            let weights: Vec<u8> = parts.iter().map(|p| p.weight).collect();
+            let order = wrr_order(&weights);
+            for n in 0..1000usize {
+                let a = g.next_op().unwrap().addr.raw();
+                let part = order[n % order.len()] as usize;
+                prop_assert!(slices[part].contains(&a),
+                    "op {} from part {} escaped {:?}: {:#x}", n, part, slices[part], a);
+            }
+        }
+
+        /// Composite generators are deterministic functions of their seed.
+        #[test]
+        fn composite_determinism(
+            raw in proptest::collection::vec((arb_pattern(), 1u64..200), 1..4),
+            spans in proptest::collection::vec((arb_pattern(), 1u32..100, 1u8..6), 2..5),
+            seed in any::<u64>(),
+        ) {
+            let phases: &'static [Phase] = Box::leak(
+                raw.iter()
+                    .map(|&(pattern, ops)| Phase { pattern, ops })
+                    .collect::<Vec<_>>()
+                    .into_boxed_slice(),
+            );
+            let parts: &'static [MixPart] = Box::leak(
+                spans.iter()
+                    .map(|&(pattern, mem_every, weight)| MixPart {
+                        pattern, mem_every, write_pct: 25, span_bp: 2000, weight,
+                    })
+                    .collect::<Vec<_>>()
+                    .into_boxed_slice(),
+            );
+            for spec in [PatternSpec::Phased { phases }, PatternSpec::Mix { parts }] {
+                let mk = || TraceGen::new(spec, 7, 25, 0, 1 << 20, 0, SplitMix64::new(seed));
+                let (mut a, mut b) = (mk(), mk());
+                for _ in 0..300 {
+                    prop_assert_eq!(a.next_op(), b.next_op());
+                }
             }
         }
     }

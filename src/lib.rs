@@ -70,7 +70,7 @@ pub mod prelude {
     pub use hybrid2_core::{Dcmc, Hybrid2Config, Variant};
     pub use sim::{run_one, EvalConfig, Machine, Matrix, NmRatio, SchemeKind};
     pub use sim_types::{AccessKind, Cycle, Geometry, MemReq, MemSide, PAddr, TrafficClass};
-    pub use workloads::{catalog, MpkiClass, Workload};
+    pub use workloads::{catalog, scenarios, MpkiClass, Workload};
 }
 
 #[cfg(test)]

@@ -129,6 +129,53 @@ fn hybrid2_lbm_digest_is_stable() {
     );
 }
 
+/// Pinned digests for one Phased and one Mix scenario under Hybrid2,
+/// captured when the scenario engine was introduced (same golden seed and
+/// sizing as the benchmark digests): `(scenario, instructions, cycles,
+/// nm_served ‱, fm_traffic, nm_traffic)`. The byte-identical rule covers
+/// composite workloads too: steal-order changes in the matrix scheduler or
+/// refactors of the composite generators must not move these numbers.
+const GOLDEN_SCENARIOS: [(&str, u64, u64, u64, u64, u64); 2] = [
+    (
+        "tile-chase-drift",
+        1_600_054,
+        3_693_056,
+        8_183,
+        16_464_640,
+        32_717_760,
+    ),
+    (
+        "stream-chase",
+        1_600_147,
+        1_431_151,
+        7_907,
+        6_198_272,
+        12_081_024,
+    ),
+];
+
+#[test]
+fn scenario_digests_are_stable() {
+    for (name, instructions, cycles, nm_served_bp, fm_traffic, nm_traffic) in GOLDEN_SCENARIOS {
+        let spec = workloads::scenarios::workload_of(name).expect("scenario exists");
+        let r = run_one(SchemeKind::Hybrid2, spec, NmRatio::OneGb, &golden_cfg());
+        let got = (
+            r.instructions,
+            r.cycles,
+            (r.nm_served * 10_000.0).round() as u64,
+            r.fm_traffic,
+            r.nm_traffic,
+        );
+        assert_eq!(
+            got,
+            (instructions, cycles, nm_served_bp, fm_traffic, nm_traffic),
+            "golden scenario digest moved for {name}: got {got:?} — if this \
+             change is intentional, update GOLDEN_SCENARIOS and explain the \
+             semantic change in the commit message"
+        );
+    }
+}
+
 #[test]
 fn back_to_back_runs_are_identical() {
     let spec = catalog::by_name(GOLDEN_WORKLOAD).unwrap();

@@ -102,6 +102,90 @@ fn instruction_accounting() {
     );
 }
 
+/// An instruction window big enough that a phased scenario crosses its
+/// first phase boundary (a core generates ~instrs/mem_every memory ops):
+/// below it the composite degenerates to its first leaf pattern and a
+/// transition-accounting bug would pass these tests unexercised. Mixes
+/// interleave from op 0, so a small window suffices.
+fn scenario_window(spec: &workloads::WorkloadSpec) -> u64 {
+    match spec.pattern {
+        workloads::PatternSpec::Phased { phases } => {
+            let ops = phases[0].ops + phases[1 % phases.len()].ops / 4 + 1;
+            ops * u64::from(spec.mem_every)
+        }
+        _ => 30_000,
+    }
+}
+
+/// The figure-level invariants hold for composite (phased / multi-program)
+/// streams too: every scenario's traffic is conserved under every scheme
+/// family and the request split stays balanced.
+#[test]
+fn scenario_traffic_is_conserved() {
+    for sc in workloads::scenarios::all() {
+        let c = EvalConfig {
+            instrs_per_core: scenario_window(&sc.workload),
+            ..cfg()
+        };
+        for kind in [SchemeKind::Hybrid2, SchemeKind::Tagless] {
+            let r = run_one(kind, &sc.workload, NmRatio::OneGb, &c);
+            assert_eq!(
+                r.stats.requests,
+                r.stats.reads + r.stats.writes,
+                "{kind:?}/{}: request split broken",
+                sc.name()
+            );
+            assert!(
+                r.fm_traffic + r.nm_traffic > 0,
+                "{kind:?}/{}: no traffic at all",
+                sc.name()
+            );
+            if r.nm_served > 0.05 {
+                assert!(
+                    r.nm_traffic > 0,
+                    "{kind:?}/{}: NM-served without NM bytes",
+                    sc.name()
+                );
+            }
+            // Each LLC miss moves at least its 64 demand bytes somewhere.
+            let demand_floor = r.stats.reads * 64;
+            assert!(
+                r.fm_traffic + r.nm_traffic >= demand_floor,
+                "{kind:?}/{}: {} + {} < {}",
+                sc.name(),
+                r.fm_traffic,
+                r.nm_traffic,
+                demand_floor
+            );
+        }
+    }
+}
+
+/// The instruction target is hit exactly for scenarios as well; a mix's
+/// overshoot bound must account for its most gap-happy co-running part
+/// (`PatternSpec::max_mem_every`), not just the spec's headline intensity.
+#[test]
+fn scenario_instruction_accounting() {
+    for sc in workloads::scenarios::all() {
+        let spec = &sc.workload;
+        let c = EvalConfig {
+            instrs_per_core: scenario_window(spec),
+            ..cfg()
+        };
+        let target = 8 * c.instrs_per_core;
+        let r = run_one(SchemeKind::Hybrid2, spec, NmRatio::OneGb, &c);
+        assert!(r.instructions >= target, "{}: undershoot", sc.name());
+        let worst_gap = u64::from(spec.pattern.max_mem_every(spec.mem_every));
+        assert!(
+            r.instructions < target + 8 * 2 * worst_gap + 8,
+            "{}: overshoot {} vs {}",
+            sc.name(),
+            r.instructions,
+            target
+        );
+    }
+}
+
 /// Migration schemes move data both ways; caches never report sector swaps
 /// out of NM.
 #[test]
