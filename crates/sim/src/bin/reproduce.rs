@@ -3,6 +3,7 @@
 //! ```text
 //! cargo run -p sim --release --bin reproduce -- --exp fig12 [options]
 //! cargo run -p sim --release --bin reproduce -- scenario <name|all> [options]
+//! cargo run -p sim --release --bin reproduce -- merge <file>... [--out FILE]
 //!
 //! options:
 //!   --exp <id>        experiment id (fig01..fig18, table2, abl-budget,
@@ -12,91 +13,354 @@
 //!   --smoke           run the 3-benchmark smoke set instead of all 30
 //!   --seed <n>        RNG seed                            [default: 2020]
 //!   --threads <n>     worker threads                      [default: #cpus]
+//!   --shard <K/N>     run only slice K of an N-way split of the grid and
+//!                     emit the machine-readable shard cells instead of the
+//!                     rendered reports (evalsuite / scenario grids only)
+//!   --out <file>      write output to <file> instead of stdout
 //!   --list            list experiment ids and exit
 //!
 //! scenario subcommand (phased / multi-program workloads):
 //!   scenario <name|all>   run one named scenario or the whole catalog
 //!   --ratio <1gb|2gb|4gb> NM:FM ratio                     [default: 1gb]
 //!   --list                list the scenario catalog and exit
-//!   (--scale/--instrs/--seed/--threads apply as above)
+//!   (--scale/--instrs/--seed/--threads/--shard/--out apply as above)
+//!
+//! merge subcommand (reassemble a sharded run):
+//!   merge <file>...   merge shard files back into the full grid and print
+//!                     the reports a monolithic run would print — byte-
+//!                     identical output, enforced in CI with `cmp`
 //! ```
+//!
+//! Exit status: 0 on success, 1 on runtime failure (I/O, inconsistent
+//! shard files), 2 on a usage error (unknown flag/subcommand/id).
+//! Argument handling never panics; sizing *values* are not semantically
+//! validated, so an extreme `--scale` can still trip the simulator's own
+//! structural asserts (`ScaledSystem::new`) once the run starts.
 
 use sim::experiments::{run_by_id, ALL_EXPERIMENTS};
-use sim::{scenario, EvalConfig, NmRatio};
+use sim::shard::{self, ShardSpec};
+use sim::{scenario, EvalConfig, GridId, NmRatio};
 
-/// The integer value of flag `args[i]`, or a panic in the flag's name.
-fn flag_value<T: std::str::FromStr>(args: &[String], i: usize, name: &str) -> T {
-    args.get(i + 1)
-        .unwrap_or_else(|| panic!("{name} needs a value"))
-        .parse()
-        .unwrap_or_else(|_| panic!("{name} must be an integer"))
+/// One-screen usage summary printed alongside every usage error.
+const USAGE: &str = "\
+usage: reproduce [--exp <id>] [--scale N] [--instrs N] [--seed N] [--threads N]
+                 [--smoke] [--shard K/N] [--out FILE] [--list]
+       reproduce scenario <name|all> [--ratio 1gb|2gb|4gb] [--scale N]
+                 [--instrs N] [--seed N] [--threads N] [--shard K/N]
+                 [--out FILE] [--list]
+       reproduce merge <file>... [--out FILE]
+
+run `reproduce --list` for experiment ids, `reproduce scenario --list`
+for the scenario catalog; see the module docs for flag semantics.";
+
+/// A fully parsed command line.
+#[derive(Debug, PartialEq)]
+enum Command {
+    /// The default experiment path (`--exp …`).
+    Eval {
+        exp: String,
+        cfg: EvalConfig,
+        smoke: bool,
+        shard: Option<ShardSpec>,
+        out: Option<String>,
+        list: bool,
+    },
+    /// `scenario <name|all> …`.
+    Scenario {
+        selector: Option<String>,
+        ratio: NmRatio,
+        cfg: EvalConfig,
+        shard: Option<ShardSpec>,
+        out: Option<String>,
+        list: bool,
+    },
+    /// `merge <file>… [--out FILE]`.
+    Merge {
+        files: Vec<String>,
+        out: Option<String>,
+    },
 }
 
-/// Consumes one of the sizing flags shared by every subcommand
+/// The value of flag `args[i]`, parsed, or a usage error naming the flag.
+fn flag_value<T: std::str::FromStr>(args: &[String], i: usize, name: &str) -> Result<T, String> {
+    args.get(i + 1)
+        .ok_or_else(|| format!("{name} needs a value"))?
+        .parse()
+        .map_err(|_| format!("{name} needs an integer value, got {:?}", args[i + 1]))
+}
+
+/// Consumes one of the sizing flags shared by every run subcommand
 /// (`--scale/--instrs/--seed/--threads`) at `args[i]`, returning the next
 /// index, or `None` if `args[i]` is some other argument.
-fn parse_sizing_flag(cfg: &mut EvalConfig, args: &[String], i: usize) -> Option<usize> {
+fn parse_sizing_flag(
+    cfg: &mut EvalConfig,
+    args: &[String],
+    i: usize,
+) -> Result<Option<usize>, String> {
     match args[i].as_str() {
-        "--scale" => cfg.scale_den = flag_value(args, i, "--scale"),
-        "--instrs" => cfg.instrs_per_core = flag_value(args, i, "--instrs"),
-        "--seed" => cfg.seed = flag_value(args, i, "--seed"),
-        "--threads" => cfg.threads = flag_value(args, i, "--threads"),
-        _ => return None,
+        "--scale" => cfg.scale_den = flag_value(args, i, "--scale")?,
+        "--instrs" => cfg.instrs_per_core = flag_value(args, i, "--instrs")?,
+        "--seed" => cfg.seed = flag_value(args, i, "--seed")?,
+        "--threads" => cfg.threads = flag_value(args, i, "--threads")?,
+        _ => return Ok(None),
     }
-    Some(i + 2)
+    Ok(Some(i + 2))
 }
 
-/// Parses and runs `reproduce scenario …`; `args` excludes the leading
-/// `"scenario"` token.
-fn scenario_main(args: &[String]) -> ! {
+/// Consumes a `--shard K/N` or `--out FILE` flag at `args[i]`, shared by
+/// the two run subcommands.
+fn parse_output_flag(
+    shard: &mut Option<ShardSpec>,
+    out: &mut Option<String>,
+    args: &[String],
+    i: usize,
+) -> Result<Option<usize>, String> {
+    match args[i].as_str() {
+        "--shard" => {
+            let v = args.get(i + 1).ok_or("--shard needs a value (K/N)")?;
+            *shard = Some(ShardSpec::parse(v)?);
+        }
+        "--out" => {
+            let v = args.get(i + 1).ok_or("--out needs a file path")?;
+            *out = Some(v.clone());
+        }
+        _ => return Ok(None),
+    }
+    Ok(Some(i + 2))
+}
+
+/// Parses `reproduce scenario …`; `args` excludes the leading token.
+fn parse_scenario(args: &[String]) -> Result<Command, String> {
     let mut cfg = EvalConfig::default_eval();
     let mut ratio = NmRatio::OneGb;
     let mut selector: Option<String> = None;
+    let mut sh = None;
+    let mut out = None;
+    let mut list = false;
 
     let mut i = 0;
     while i < args.len() {
-        if let Some(next) = parse_sizing_flag(&mut cfg, args, i) {
+        if let Some(next) = parse_sizing_flag(&mut cfg, args, i)? {
+            i = next;
+            continue;
+        }
+        if let Some(next) = parse_output_flag(&mut sh, &mut out, args, i)? {
             i = next;
             continue;
         }
         match args[i].as_str() {
             "--ratio" => {
-                let v = args.get(i + 1).expect("--ratio needs a value");
-                ratio = match v.as_str() {
-                    "1gb" => NmRatio::OneGb,
-                    "2gb" => NmRatio::TwoGb,
-                    "4gb" => NmRatio::FourGb,
-                    other => {
-                        eprintln!("unknown ratio {other:?}; use 1gb, 2gb or 4gb");
-                        std::process::exit(2);
-                    }
-                };
+                let v = args.get(i + 1).ok_or("--ratio needs a value")?;
+                ratio = shard::parse_ratio_token(v)?;
                 i += 2;
             }
             "--list" => {
-                println!("{}", scenario::catalog_report().render());
-                std::process::exit(0);
+                list = true;
+                i += 1;
             }
             name if !name.starts_with('-') && selector.is_none() => {
                 selector = Some(name.to_owned());
                 i += 1;
             }
-            other => {
-                eprintln!("unknown scenario argument {other:?}; see the module docs for usage");
-                std::process::exit(2);
+            other => return Err(format!("unknown scenario argument {other:?}")),
+        }
+    }
+    if selector.is_none() && !list {
+        return Err("scenario needs a selector (<name|all>) or --list".to_owned());
+    }
+    // Unknown names are usage errors (exit 2), same as unknown experiment
+    // ids — validate here so the run path never sees a bad selector.
+    if let Some(sel) = &selector {
+        if scenario::select(sel).is_none() {
+            return Err(format!(
+                "unknown scenario {sel:?}; run `reproduce scenario --list` for the catalog"
+            ));
+        }
+    }
+    Ok(Command::Scenario {
+        selector,
+        ratio,
+        cfg,
+        shard: sh,
+        out,
+        list,
+    })
+}
+
+/// Parses `reproduce merge …`; `args` excludes the leading token.
+fn parse_merge(args: &[String]) -> Result<Command, String> {
+    let mut files = Vec::new();
+    let mut out = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                let v = args.get(i + 1).ok_or("--out needs a file path")?;
+                out = Some(v.clone());
+                i += 2;
+            }
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown merge argument {flag:?}"));
+            }
+            file => {
+                files.push(file.to_owned());
+                i += 1;
             }
         }
     }
+    if files.is_empty() {
+        return Err("merge needs at least one shard file".to_owned());
+    }
+    Ok(Command::Merge { files, out })
+}
 
-    let selector = selector.unwrap_or_else(|| {
-        eprintln!("usage: reproduce scenario <name|all> [--ratio 1gb|2gb|4gb] …");
-        std::process::exit(2);
-    });
-    let Some(scens) = scenario::select(&selector) else {
-        eprintln!("unknown scenario {selector:?}; catalog:");
-        eprintln!("{}", scenario::catalog_report().render());
-        std::process::exit(2);
-    };
+/// Parses the default experiment path (no subcommand).
+fn parse_eval(args: &[String]) -> Result<Command, String> {
+    let mut exp = "evalsuite".to_owned();
+    let mut cfg = EvalConfig::default_eval();
+    let mut smoke = false;
+    let mut sh = None;
+    let mut out = None;
+    let mut list = false;
+
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(next) = parse_sizing_flag(&mut cfg, args, i)? {
+            i = next;
+            continue;
+        }
+        if let Some(next) = parse_output_flag(&mut sh, &mut out, args, i)? {
+            i = next;
+            continue;
+        }
+        match args[i].as_str() {
+            "--exp" => {
+                exp = args.get(i + 1).ok_or("--exp needs a value")?.clone();
+                i += 2;
+            }
+            "--smoke" => {
+                smoke = true;
+                i += 1;
+            }
+            "--list" => {
+                list = true;
+                i += 1;
+            }
+            other => {
+                return Err(format!(
+                    "unknown argument {other:?} (subcommands: scenario, merge)"
+                ))
+            }
+        }
+    }
+    if !list && !ALL_EXPERIMENTS.contains(&exp.as_str()) {
+        return Err(format!(
+            "unknown experiment {exp:?}; run `reproduce --list` for ids"
+        ));
+    }
+    if sh.is_some() && exp != "evalsuite" {
+        return Err(format!(
+            "--shard only applies to the evalsuite matrix (or the scenario grid), not {exp:?}"
+        ));
+    }
+    Ok(Command::Eval {
+        exp,
+        cfg,
+        smoke,
+        shard: sh,
+        out,
+        list,
+    })
+}
+
+/// Parses a complete command line (without the program name).
+fn parse_command(args: &[String]) -> Result<Command, String> {
+    match args.first().map(String::as_str) {
+        Some("scenario") => parse_scenario(&args[1..]),
+        Some("merge") => parse_merge(&args[1..]),
+        _ => parse_eval(args),
+    }
+}
+
+/// Writes `text` to `--out` (or stdout), mapping I/O failures to an error
+/// string.
+fn emit(out: &Option<String>, text: &str) -> Result<(), String> {
+    match out {
+        Some(path) => std::fs::write(path, text).map_err(|e| format!("cannot write {path:?}: {e}")),
+        None => {
+            print!("{text}");
+            Ok(())
+        }
+    }
+}
+
+/// Runs one shard of `grid` and emits the interchange file.
+fn run_shard_cmd(
+    grid: &GridId,
+    ratio: NmRatio,
+    cfg: &EvalConfig,
+    sh: ShardSpec,
+    out: &Option<String>,
+) -> Result<(), String> {
+    eprintln!(
+        "running shard {sh} at 1/{} scale, {} instrs/core, NM {}, {} threads",
+        cfg.scale_den,
+        cfg.instrs_per_core,
+        shard::ratio_token(ratio),
+        cfg.threads
+    );
+    let started = std::time::Instant::now();
+    let encoded = shard::run_shard(grid, ratio, cfg, sh)?;
+    emit(out, &encoded)?;
+    eprintln!("done in {:.1}s", started.elapsed().as_secs_f64());
+    Ok(())
+}
+
+/// Runs `reproduce merge <files…>`.
+fn run_merge(files: &[String], out: &Option<String>) -> Result<(), String> {
+    let mut inputs = Vec::with_capacity(files.len());
+    for path in files {
+        let contents =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+        inputs.push((path.clone(), contents));
+    }
+    let merged = shard::merge(&inputs)?;
+    eprintln!(
+        "merged {} shard file(s): {:?} at 1/{} scale, {} instrs/core, NM {}",
+        inputs.len(),
+        merged.grid,
+        merged.scale_den,
+        merged.instrs_per_core,
+        shard::ratio_token(merged.ratio)
+    );
+    let mut text = String::new();
+    for report in shard::reports(&merged.grid, &merged.matrix) {
+        text.push_str(&report.render());
+        text.push('\n');
+    }
+    emit(out, &text)
+}
+
+/// Runs `reproduce scenario …` after parsing.
+fn run_scenario(
+    selector: &Option<String>,
+    ratio: NmRatio,
+    cfg: &EvalConfig,
+    sh: Option<ShardSpec>,
+    out: &Option<String>,
+    list: bool,
+) -> Result<(), String> {
+    if list {
+        return emit(out, &format!("{}\n", scenario::catalog_report().render()));
+    }
+    let selector = selector.as_deref().expect("parse guarantees a selector");
+    let scens = scenario::select(selector).expect("parse validated the selector");
+    if let Some(sh) = sh {
+        let grid = GridId::Scenario {
+            selector: selector.to_owned(),
+        };
+        return run_shard_cmd(&grid, ratio, cfg, sh, out);
+    }
     eprintln!(
         "running {} scenario(s) at 1/{} scale, {} instrs/core, NM {}, {} threads",
         scens.len(),
@@ -106,59 +370,38 @@ fn scenario_main(args: &[String]) -> ! {
         cfg.threads
     );
     let started = std::time::Instant::now();
-    let m = scenario::run_grid(&scens, ratio, &cfg);
+    let m = scenario::run_grid(&scens, ratio, cfg);
+    let mut text = String::new();
     for report in scenario::grid_reports(&m) {
-        println!("{}", report.render());
+        text.push_str(&report.render());
+        text.push('\n');
     }
+    emit(out, &text)?;
     eprintln!("done in {:.1}s", started.elapsed().as_secs_f64());
-    std::process::exit(0);
+    Ok(())
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().is_some_and(|a| a == "scenario") {
-        scenario_main(&args[1..]);
-    }
-    let mut exp = "evalsuite".to_owned();
-    let mut cfg = EvalConfig::default_eval();
-    let mut smoke = false;
-
-    let mut i = 0;
-    while i < args.len() {
-        if let Some(next) = parse_sizing_flag(&mut cfg, &args, i) {
-            i = next;
-            continue;
-        }
-        match args[i].as_str() {
-            "--exp" => {
-                exp = args.get(i + 1).expect("--exp needs a value").clone();
-                i += 2;
-            }
-            "--smoke" => {
-                smoke = true;
-                i += 1;
-            }
-            "--list" => {
-                for id in ALL_EXPERIMENTS {
-                    println!("{id}");
-                }
-                return;
-            }
-            other => {
-                eprintln!("unknown argument {other:?}; see the module docs for usage");
-                std::process::exit(2);
-            }
-        }
-    }
-
-    if !ALL_EXPERIMENTS.contains(&exp.as_str()) {
-        eprintln!("unknown experiment {exp:?}; known ids:");
+/// Runs the default experiment path after parsing.
+fn run_eval(
+    exp: &str,
+    cfg: &EvalConfig,
+    smoke: bool,
+    sh: Option<ShardSpec>,
+    out: &Option<String>,
+    list: bool,
+) -> Result<(), String> {
+    if list {
+        let mut text = String::new();
         for id in ALL_EXPERIMENTS {
-            eprintln!("  {id}");
+            text.push_str(id);
+            text.push('\n');
         }
-        std::process::exit(2);
+        return emit(out, &text);
     }
-
+    if let Some(sh) = sh {
+        let grid = GridId::Eval { smoke };
+        return run_shard_cmd(&grid, NmRatio::OneGb, cfg, sh, out);
+    }
     eprintln!(
         "running {exp} at 1/{} scale, {} instrs/core, {} workloads, {} threads",
         cfg.scale_den,
@@ -167,8 +410,184 @@ fn main() {
         cfg.threads
     );
     let started = std::time::Instant::now();
-    for report in run_by_id(&exp, &cfg, smoke) {
-        println!("{}", report.render());
+    let mut text = String::new();
+    for report in run_by_id(exp, cfg, smoke) {
+        text.push_str(&report.render());
+        text.push('\n');
     }
+    emit(out, &text)?;
     eprintln!("done in {:.1}s", started.elapsed().as_secs_f64());
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match parse_command(&args) {
+        Ok(cmd) => cmd,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let outcome = match &cmd {
+        Command::Eval {
+            exp,
+            cfg,
+            smoke,
+            shard,
+            out,
+            list,
+        } => run_eval(exp, cfg, *smoke, *shard, out, *list),
+        Command::Scenario {
+            selector,
+            ratio,
+            cfg,
+            shard,
+            out,
+            list,
+        } => run_scenario(selector, *ratio, cfg, *shard, out, *list),
+        Command::Merge { files, out } => run_merge(files, out),
+    };
+    if let Err(e) = outcome {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Command, String> {
+        parse_command(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn default_is_evalsuite() {
+        match parse(&[]).unwrap() {
+            Command::Eval { exp, shard, .. } => {
+                assert_eq!(exp, "evalsuite");
+                assert!(shard.is_none());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_flags_are_usage_errors_not_panics() {
+        for args in [
+            &["--bogus"][..],
+            &["--exp", "fig12", "--frobnicate"][..],
+            &["scenario", "all", "--bogus"][..],
+            &["merge", "a.tsv", "--bogus"][..],
+        ] {
+            let e = parse(args).unwrap_err();
+            assert!(e.contains("unknown"), "{args:?} -> {e}");
+        }
+    }
+
+    #[test]
+    fn missing_and_malformed_flag_values_are_errors() {
+        assert!(parse(&["--scale"]).unwrap_err().contains("--scale"));
+        assert!(parse(&["--instrs", "many"])
+            .unwrap_err()
+            .contains("--instrs"));
+        assert!(parse(&["scenario", "all", "--ratio"])
+            .unwrap_err()
+            .contains("--ratio"));
+        assert!(parse(&["scenario", "all", "--ratio", "8gb"])
+            .unwrap_err()
+            .contains("8gb"));
+        assert!(parse(&["--shard"]).unwrap_err().contains("--shard"));
+        assert!(parse(&["--out"]).unwrap_err().contains("--out"));
+    }
+
+    #[test]
+    fn unknown_experiment_is_an_error() {
+        assert!(parse(&["--exp", "fig99"]).unwrap_err().contains("fig99"));
+    }
+
+    #[test]
+    fn shard_specs_validate() {
+        for bad in ["0/4", "5/4", "x/y", "3", "1/0"] {
+            assert!(parse(&["--shard", bad]).is_err(), "{bad:?}");
+        }
+        match parse(&["--exp", "evalsuite", "--shard", "2/4"]).unwrap() {
+            Command::Eval { shard, .. } => {
+                assert_eq!(shard, Some(ShardSpec { index: 2, count: 4 }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shard_rejected_for_non_matrix_experiments() {
+        let e = parse(&["--exp", "fig12", "--shard", "1/2"]).unwrap_err();
+        assert!(e.contains("evalsuite"), "{e}");
+    }
+
+    #[test]
+    fn scenario_needs_selector_unless_listing() {
+        assert!(parse(&["scenario"]).is_err());
+        assert!(parse(&["scenario", "--list"]).is_ok());
+        // Unknown names are usage errors (exit 2), like unknown --exp ids.
+        let e = parse(&["scenario", "not-a-scenario"]).unwrap_err();
+        assert!(e.contains("unknown scenario"), "{e}");
+        match parse(&[
+            "scenario", "quad-mix", "--ratio", "4gb", "--shard", "1/2", "--out", "x.tsv",
+        ])
+        .unwrap()
+        {
+            Command::Scenario {
+                selector,
+                ratio,
+                shard,
+                out,
+                ..
+            } => {
+                assert_eq!(selector.as_deref(), Some("quad-mix"));
+                assert_eq!(ratio, NmRatio::FourGb);
+                assert_eq!(shard, Some(ShardSpec { index: 1, count: 2 }));
+                assert_eq!(out.as_deref(), Some("x.tsv"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn merge_needs_files() {
+        assert!(parse(&["merge"]).unwrap_err().contains("at least one"));
+        match parse(&["merge", "a.tsv", "b.tsv", "--out", "m.txt"]).unwrap() {
+            Command::Merge { files, out } => {
+                assert_eq!(files, vec!["a.tsv", "b.tsv"]);
+                assert_eq!(out.as_deref(), Some("m.txt"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sizing_flags_apply_everywhere() {
+        match parse(&[
+            "--scale",
+            "512",
+            "--instrs",
+            "1000",
+            "--seed",
+            "9",
+            "--threads",
+            "2",
+        ])
+        .unwrap()
+        {
+            Command::Eval { cfg, .. } => {
+                assert_eq!(cfg.scale_den, 512);
+                assert_eq!(cfg.instrs_per_core, 1000);
+                assert_eq!(cfg.seed, 9);
+                assert_eq!(cfg.threads, 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
 }

@@ -46,6 +46,20 @@ pub fn main_matrix(ratio: NmRatio, cfg: &EvalConfig, smoke: bool) -> Matrix {
     Matrix::run(&SchemeKind::MAIN, &workload_set(smoke), ratio, cfg)
 }
 
+/// The `evalsuite` report set (Figures 13 and 15–18) derived from one
+/// already-computed matrix. Shared by [`run_by_id`] and the shard-merge
+/// path, so a merged sharded run renders byte-identically to a monolithic
+/// `--exp evalsuite` run.
+pub fn evalsuite_reports(m: &Matrix) -> Vec<Report> {
+    vec![
+        fig13_per_benchmark(m),
+        fig15_nm_served(m),
+        fig16_fm_traffic(m),
+        fig17_nm_traffic(m),
+        fig18_energy(m),
+    ]
+}
+
 /// Experiment identifiers accepted by the `reproduce` binary.
 pub const ALL_EXPERIMENTS: [&str; 16] = [
     "fig01",
@@ -104,16 +118,7 @@ pub fn run_by_id(id: &str, cfg: &EvalConfig, smoke: bool) -> Vec<Report> {
         "abl-budget" => ablation_budget_period(cfg, smoke),
         "abl-stack" => ablation_stack_window(cfg, smoke),
         "abl-free" => ablation_free_hints(cfg, smoke),
-        "evalsuite" => {
-            let m = main_matrix(NmRatio::OneGb, cfg, smoke);
-            vec![
-                fig13_per_benchmark(&m),
-                fig15_nm_served(&m),
-                fig16_fm_traffic(&m),
-                fig17_nm_traffic(&m),
-                fig18_energy(&m),
-            ]
-        }
+        "evalsuite" => evalsuite_reports(&main_matrix(NmRatio::OneGb, cfg, smoke)),
         "all" => {
             let mut out = Vec::new();
             for id in [

@@ -18,6 +18,8 @@
 //!   each returning a printable [`report::Report`].
 //! * [`scenario`] — the phased / multi-program scenario grid behind the
 //!   `reproduce scenario` subcommand.
+//! * [`shard`] — process-level `--shard K/N` slicing of the grids and the
+//!   `reproduce merge` reassembly, byte-identical to a monolithic run.
 //!
 //! # Example
 //!
@@ -44,6 +46,7 @@ pub mod report;
 mod runner;
 mod scale;
 pub mod scenario;
+pub mod shard;
 
 pub use any_scheme::AnyScheme;
 pub use machine::{Machine, RunResult};
@@ -51,3 +54,4 @@ pub use matrix::{ClassSummary, Matrix};
 pub use page_alloc::PageAllocator;
 pub use runner::{build_scheme, run_one, scheme_label, EvalConfig, SchemeKind};
 pub use scale::{NmRatio, ScaledSystem};
+pub use shard::{GridId, Merged, ShardSpec};

@@ -78,11 +78,11 @@ fn job_cost(kind: SchemeKind, spec: &WorkloadSpec) -> u64 {
 
 /// One grid cell: `slot` is its position in the result layout (baseline
 /// rows first, then each scheme in `kinds` order).
-#[derive(Clone, Copy)]
-struct Job {
-    slot: usize,
-    w: usize,
-    kind: SchemeKind,
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct Job {
+    pub(crate) slot: usize,
+    pub(crate) w: usize,
+    pub(crate) kind: SchemeKind,
 }
 
 /// The grid's job list in slot order: baseline rows first, then each
@@ -113,12 +113,54 @@ fn slot_jobs(kinds: &[SchemeKind], specs: &[&'static WorkloadSpec]) -> Vec<Job> 
 /// deterministic.
 fn lpt_jobs(kinds: &[SchemeKind], specs: &[&'static WorkloadSpec]) -> Vec<Job> {
     let mut jobs = slot_jobs(kinds, specs);
-    jobs.sort_by(|a, b| {
-        job_cost(b.kind, specs[b.w])
-            .cmp(&job_cost(a.kind, specs[a.w]))
-            .then(a.slot.cmp(&b.slot))
-    });
+    sort_lpt(&mut jobs, specs);
     jobs
+}
+
+/// The LPT dispatch ordering (descending cost, slot tiebreak) — the one
+/// comparator behind both the process-level shard deal ([`shard_jobs`])
+/// and the in-process dispatch ([`run_jobs`]), so the two can never
+/// drift apart.
+fn lpt_order(a: &Job, b: &Job, specs: &[&'static WorkloadSpec]) -> std::cmp::Ordering {
+    job_cost(b.kind, specs[b.w])
+        .cmp(&job_cost(a.kind, specs[a.w]))
+        .then(a.slot.cmp(&b.slot))
+}
+
+/// Sorts `jobs` into LPT dispatch order.
+fn sort_lpt(jobs: &mut [Job], specs: &[&'static WorkloadSpec]) {
+    jobs.sort_by(|a, b| lpt_order(a, b, specs));
+}
+
+/// The jobs of shard `index0` (0-based) of an `count`-way split of the
+/// grid, in slot order.
+///
+/// Assignment deals the LPT-sorted job list round-robin across the
+/// `count` shards, so every shard receives its share of heavy *and* light
+/// cells — the same balancing the in-process scheduler uses, applied at
+/// process granularity. The dealing depends only on `(kinds, specs,
+/// count)`, so the partition is deterministic: shards are pairwise
+/// disjoint, their union is the whole grid, and each shard lists its
+/// cells in ascending slot order.
+pub(crate) fn shard_jobs(
+    kinds: &[SchemeKind],
+    specs: &[&'static WorkloadSpec],
+    index0: usize,
+    count: usize,
+) -> Vec<Job> {
+    assert!(
+        count > 0 && index0 < count,
+        "shard {index0}/{count} out of range"
+    );
+    let lpt = lpt_jobs(kinds, specs);
+    let mut mine: Vec<Job> = lpt
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| i % count == index0)
+        .map(|(_, j)| j)
+        .collect();
+    mine.sort_by_key(|j| j.slot);
+    mine
 }
 
 /// Per-worker deque of a work-stealing scheduler in the chase-lev shape:
@@ -129,25 +171,78 @@ fn lpt_jobs(kinds: &[SchemeKind], specs: &[&'static WorkloadSpec]) -> Vec<Job> {
 /// `Mutex<VecDeque>` — at grid granularity (each job is a whole
 /// simulation, milliseconds to seconds) the lock is nanoseconds of noise.
 struct StealQueue {
-    jobs: Mutex<VecDeque<Job>>,
+    jobs: Mutex<VecDeque<usize>>,
 }
 
 impl StealQueue {
-    fn new(jobs: VecDeque<Job>) -> Self {
+    fn new(jobs: VecDeque<usize>) -> Self {
         StealQueue {
             jobs: Mutex::new(jobs),
         }
     }
 
-    /// Owner path: take my next (costliest) job.
-    fn pop_own(&self) -> Option<Job> {
+    /// Owner path: take my next (costliest) job index.
+    fn pop_own(&self) -> Option<usize> {
         self.jobs.lock().expect("queue lock poisoned").pop_front()
     }
 
-    /// Thief path: take the victim's last (cheapest) job.
-    fn steal(&self) -> Option<Job> {
+    /// Thief path: take the victim's last (cheapest) job index.
+    fn steal(&self) -> Option<usize> {
         self.jobs.lock().expect("queue lock poisoned").pop_back()
     }
+}
+
+/// Runs `jobs` (any subset of a grid, in any order) on `cfg.threads`
+/// work-stealing workers; `out[i]` is `jobs[i]`'s result. Dispatch order
+/// is LPT (descending cost, slot tiebreak) dealt round-robin across the
+/// worker deques, so every deque starts with its share of heavy jobs up
+/// front and light ones at the back — owners chew the heavy front,
+/// thieves nibble the light back. Every cell is a pure function of
+/// (scheme, workload, ratio, cfg) and lands in its own [`OnceLock`] slot,
+/// so steal order and thread interleaving affect wall-clock only.
+fn run_jobs(
+    jobs: &[Job],
+    specs: &[&'static WorkloadSpec],
+    ratio: NmRatio,
+    cfg: &EvalConfig,
+) -> Vec<RunResult> {
+    let mut order: Vec<usize> = (0..jobs.len()).collect();
+    order.sort_by(|&a, &b| lpt_order(&jobs[a], &jobs[b], specs));
+    let results: Vec<OnceLock<RunResult>> = jobs.iter().map(|_| OnceLock::new()).collect();
+    let workers = cfg.threads.max(1).min(jobs.len().max(1));
+    let mut queues: Vec<VecDeque<usize>> = (0..workers).map(|_| VecDeque::new()).collect();
+    for (i, &ji) in order.iter().enumerate() {
+        queues[i % workers].push_back(ji);
+    }
+    let queues: Vec<StealQueue> = queues.into_iter().map(StealQueue::new).collect();
+    std::thread::scope(|scope| {
+        for me in 0..workers {
+            let queues = &queues;
+            let results = &results;
+            scope.spawn(move || loop {
+                // Own deque first; then sweep the other deques as a
+                // thief. New jobs are never produced, so finding every
+                // deque empty means the grid is fully claimed.
+                let ji = queues[me].pop_own().or_else(|| {
+                    (1..workers)
+                        .map(|d| (me + d) % workers)
+                        .find_map(|v| queues[v].steal())
+                });
+                let Some(ji) = ji else {
+                    break;
+                };
+                let Job { w, kind, .. } = jobs[ji];
+                let r = run_one(kind, specs[w], ratio, cfg);
+                results[ji]
+                    .set(r)
+                    .unwrap_or_else(|_| panic!("job {ji} written twice"));
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|cell| cell.into_inner().expect("every job ran"))
+        .collect()
 }
 
 impl Matrix {
@@ -162,45 +257,28 @@ impl Matrix {
         ratio: NmRatio,
         cfg: &EvalConfig,
     ) -> Matrix {
-        let jobs = lpt_jobs(kinds, specs);
-        let results: Vec<OnceLock<RunResult>> = jobs.iter().map(|_| OnceLock::new()).collect();
-        let workers = cfg.threads.max(1).min(jobs.len().max(1));
-        // Deal the LPT-sorted jobs round-robin, so every deque starts with
-        // its share of heavy jobs up front and light ones at the back —
-        // owners chew the heavy front, thieves nibble the light back.
-        let mut queues: Vec<VecDeque<Job>> = (0..workers).map(|_| VecDeque::new()).collect();
-        for (i, job) in jobs.iter().enumerate() {
-            queues[i % workers].push_back(*job);
-        }
-        let queues: Vec<StealQueue> = queues.into_iter().map(StealQueue::new).collect();
-        std::thread::scope(|scope| {
-            for me in 0..workers {
-                let queues = &queues;
-                let results = &results;
-                scope.spawn(move || loop {
-                    // Own deque first; then sweep the other deques as a
-                    // thief. New jobs are never produced, so finding every
-                    // deque empty means the grid is fully claimed.
-                    let job = queues[me].pop_own().or_else(|| {
-                        (1..workers)
-                            .map(|d| (me + d) % workers)
-                            .find_map(|v| queues[v].steal())
-                    });
-                    let Some(Job { slot, w, kind }) = job else {
-                        break;
-                    };
-                    let r = run_one(kind, specs[w], ratio, cfg);
-                    results[slot]
-                        .set(r)
-                        .unwrap_or_else(|_| panic!("slot {slot} written twice"));
-                });
-            }
-        });
-        let flat: Vec<RunResult> = results
-            .into_iter()
-            .map(|cell| cell.into_inner().expect("every job ran"))
-            .collect();
+        let jobs = slot_jobs(kinds, specs);
+        let flat = run_jobs(&jobs, specs, ratio, cfg);
         Matrix::assemble(kinds, specs, ratio, flat)
+    }
+
+    /// Runs only the grid cells of shard `index0` (0-based) of a
+    /// `count`-way split (see [`shard_jobs`]) on the same work-stealing
+    /// scheduler, returning `(job, result)` pairs in slot order. The
+    /// `sim::shard` module encodes these to the shard interchange format;
+    /// merging every shard of a split reassembles the exact [`Matrix`]
+    /// that [`Matrix::run`] computes monolithically.
+    pub(crate) fn run_shard(
+        kinds: &[SchemeKind],
+        specs: &[&'static WorkloadSpec],
+        ratio: NmRatio,
+        cfg: &EvalConfig,
+        index0: usize,
+        count: usize,
+    ) -> Vec<(Job, RunResult)> {
+        let jobs = shard_jobs(kinds, specs, index0, count);
+        let results = run_jobs(&jobs, specs, ratio, cfg);
+        jobs.into_iter().zip(results).collect()
     }
 
     /// Single-threaded reference scheduler: runs the same job list in slot
@@ -221,8 +299,9 @@ impl Matrix {
     }
 
     /// Splits the flat slot-ordered result vector into baseline + scheme
-    /// rows.
-    fn assemble(
+    /// rows. `sim::shard`'s merge path feeds this the reassembled cells of
+    /// a sharded run, which is why it is crate-visible.
+    pub(crate) fn assemble(
         kinds: &[SchemeKind],
         specs: &[&'static WorkloadSpec],
         ratio: NmRatio,
@@ -347,6 +426,30 @@ mod tests {
         // Metrics are well-defined.
         assert!(m.nm_served(h2, 0) > 0.0);
         assert!(m.energy_norm(h2, 0) > 0.0);
+    }
+
+    #[test]
+    fn shard_jobs_partition_the_grid_exactly() {
+        let specs = [
+            catalog::by_name("lbm").unwrap(),
+            catalog::by_name("mcf").unwrap(),
+            catalog::by_name("xalanc").unwrap(),
+        ];
+        let kinds = [SchemeKind::Hybrid2, SchemeKind::Tagless, SchemeKind::Lgm];
+        let total = (kinds.len() + 1) * specs.len();
+        for count in [1, 2, 3, 5, total, total + 3] {
+            let mut seen = vec![false; total];
+            for index0 in 0..count {
+                let shard = shard_jobs(&kinds, &specs, index0, count);
+                // Slot order within a shard, no duplicates across shards.
+                assert!(shard.windows(2).all(|p| p[0].slot < p[1].slot));
+                for j in shard {
+                    assert!(!seen[j.slot], "slot {} assigned twice", j.slot);
+                    seen[j.slot] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "not covering for count={count}");
+        }
     }
 
     #[test]

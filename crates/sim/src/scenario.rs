@@ -10,9 +10,11 @@
 use workloads::scenarios::{self, ScenarioSpec};
 use workloads::WorkloadSpec;
 
+use crate::machine::RunResult;
 use crate::report::{f3, pct, Report};
 use crate::runner::{EvalConfig, SchemeKind};
 use crate::scale::NmRatio;
+use crate::shard::{CellKey, ShardSpec};
 use crate::Matrix;
 
 /// Resolves a CLI selector to scenarios: `"all"` for the whole catalog,
@@ -33,6 +35,19 @@ pub fn workloads_of(scens: &[&'static ScenarioSpec]) -> Vec<&'static WorkloadSpe
 /// Runs the MAIN six schemes (plus the baseline) over `scens` at `ratio`.
 pub fn run_grid(scens: &[&'static ScenarioSpec], ratio: NmRatio, cfg: &EvalConfig) -> Matrix {
     Matrix::run(&SchemeKind::MAIN, &workloads_of(scens), ratio, cfg)
+}
+
+/// Runs one `--shard K/N` slice of the same scenario grid [`run_grid`]
+/// covers, returning `(cell, result)` pairs in slot order for the
+/// [`crate::shard`] interchange format. Merging every slice of a split
+/// reproduces [`run_grid`]'s matrix exactly.
+pub fn run_grid_shard(
+    scens: &[&'static ScenarioSpec],
+    ratio: NmRatio,
+    cfg: &EvalConfig,
+    shard: ShardSpec,
+) -> Vec<(CellKey, RunResult)> {
+    crate::shard::run_matrix_shard(&SchemeKind::MAIN, &workloads_of(scens), ratio, cfg, shard)
 }
 
 /// One scenario × scheme table: a row per workload, a column per scheme,
@@ -138,6 +153,21 @@ mod tests {
         for rep in grid_reports(&m) {
             let text = rep.render();
             assert!(text.contains("stream-chase"), "{text}");
+        }
+    }
+
+    #[test]
+    fn grid_shard_runs_exactly_its_partition_slice() {
+        let scens = select("stream-chase").unwrap();
+        let shard = ShardSpec { index: 1, count: 3 };
+        let cells = run_grid_shard(&scens, NmRatio::OneGb, &tiny_cfg(), shard);
+        let keys = crate::shard::shard_cell_keys(&SchemeKind::MAIN, &workloads_of(&scens), shard);
+        assert!(!cells.is_empty());
+        assert_eq!(cells.len(), keys.len());
+        for ((cell, r), key) in cells.iter().zip(&keys) {
+            assert_eq!(cell, key);
+            assert_eq!(r.workload, key.workload);
+            assert!(r.cycles > 0);
         }
     }
 

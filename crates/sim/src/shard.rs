@@ -1,0 +1,967 @@
+//! Process-level sharding of the evaluation grids.
+//!
+//! PR 3 made the in-process matrix scheduler work-stealing; this module is
+//! the distribution layer above it. A grid — the scenario grid or the
+//! `evalsuite` scheme × workload matrix — is partitioned deterministically
+//! into `--shard K/N` slices ([`matrix::shard_jobs`] deals the LPT-sorted
+//! job list round-robin, so every slice gets its share of heavy and light
+//! cells). Each slice runs through the existing work-stealing scheduler in
+//! its own process (a CI job today, another machine tomorrow) and emits its
+//! per-cell results in a stable, hand-rolled TSV interchange format.
+//! [`merge`] reassembles the slices into the exact [`Matrix`] a monolithic
+//! run computes, so the rendered reports are **byte-identical** — floats
+//! are carried as IEEE-754 bit patterns, never re-parsed decimal text.
+//!
+//! The byte-identity contract, concretely:
+//!
+//! ```text
+//! reproduce scenario all --shard 1/2 --out s1.tsv
+//! reproduce scenario all --shard 2/2 --out s2.tsv
+//! reproduce merge s1.tsv s2.tsv > merged.txt
+//! reproduce scenario all           > mono.txt
+//! cmp merged.txt mono.txt          # always identical
+//! ```
+//!
+//! CI enforces exactly this with a sharded job matrix feeding a blocking
+//! `merge-verify` job (see `.github/workflows/ci.yml`).
+//!
+//! The interchange format is versioned (`hybrid2-shard-v1`), line-oriented
+//! and tab-separated: a header block naming the grid, NM:FM ratio, sizing
+//! knobs and shard position, then one `cell` row per grid cell with every
+//! [`RunResult`] field. Worker thread count is deliberately *not* part of
+//! the header — the scheduler's determinism contract makes it irrelevant
+//! to the output.
+
+use std::fmt;
+
+use dram::SchemeStats;
+use workloads::WorkloadSpec;
+
+use crate::machine::RunResult;
+use crate::matrix::{self, Job};
+use crate::report::Report;
+use crate::runner::{build_scheme, EvalConfig, SchemeKind};
+use crate::scale::{NmRatio, ScaledSystem};
+use crate::{experiments, scenario, Matrix};
+
+/// First line of every shard file; bumped on any format change.
+const VERSION: &str = "hybrid2-shard-v1";
+
+/// Number of tab-separated columns in a `cell` row.
+const CELL_COLS: usize = 27;
+
+/// One slice of an `N`-way grid split, as written on the CLI: `K/N` with
+/// `K` in `1..=N`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// 1-based slice index (`K` in `K/N`).
+    pub index: usize,
+    /// Total number of slices (`N` in `K/N`).
+    pub count: usize,
+}
+
+impl ShardSpec {
+    /// Parses the CLI form `K/N` (e.g. `"2/4"`), requiring `1 <= K <= N`.
+    pub fn parse(s: &str) -> Result<ShardSpec, String> {
+        let (k, n) = s
+            .split_once('/')
+            .ok_or_else(|| format!("shard {s:?} is not of the form K/N (e.g. 2/4)"))?;
+        let index: usize = k
+            .parse()
+            .map_err(|_| format!("shard index {k:?} is not an integer"))?;
+        let count: usize = n
+            .parse()
+            .map_err(|_| format!("shard count {n:?} is not an integer"))?;
+        if count == 0 {
+            return Err("shard count must be at least 1".to_owned());
+        }
+        if index == 0 || index > count {
+            return Err(format!(
+                "shard index {index} out of range 1..={count} (indices are 1-based)"
+            ));
+        }
+        Ok(ShardSpec { index, count })
+    }
+
+    /// 0-based slice index.
+    fn index0(self) -> usize {
+        self.index - 1
+    }
+}
+
+impl fmt::Display for ShardSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+/// Which evaluation grid a shard file slices. The grid id plus the sizing
+/// knobs in the header fully determine the job space, so [`merge`] can
+/// re-enumerate it and verify each slice claims exactly its cells.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GridId {
+    /// The scenario grid (`reproduce scenario <selector>`): the MAIN six
+    /// schemes plus the baseline over the selected scenarios.
+    Scenario {
+        /// Scenario selector as passed to [`scenario::select`]: `"all"` or
+        /// one catalog name.
+        selector: String,
+    },
+    /// The `evalsuite` scheme × workload matrix (`reproduce --exp
+    /// evalsuite`): the MAIN six schemes plus the baseline over the
+    /// 30-workload catalog (or the 3-workload smoke set).
+    Eval {
+        /// `true` for the smoke workload set.
+        smoke: bool,
+    },
+}
+
+/// Stable address of one grid cell: its slot in the [`Matrix`] result
+/// layout plus the (scheme, workload) pair that determines it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CellKey {
+    /// Position in the flat result layout (baseline rows first, then each
+    /// scheme row in grid order).
+    pub slot: usize,
+    /// The scheme simulated in this cell.
+    pub kind: SchemeKind,
+    /// The workload name (unique within a grid).
+    pub workload: &'static str,
+}
+
+impl CellKey {
+    fn of(job: &Job, specs: &[&'static WorkloadSpec]) -> CellKey {
+        CellKey {
+            slot: job.slot,
+            kind: job.kind,
+            workload: specs[job.w].name,
+        }
+    }
+}
+
+/// The cell addresses of shard `shard` over a `kinds` × `specs` grid, in
+/// slot order — the pure enumeration behind [`run_matrix_shard`], exposed
+/// so tests can check the partition is disjoint, covering and
+/// order-stable without running any simulation.
+pub fn shard_cell_keys(
+    kinds: &[SchemeKind],
+    specs: &[&'static WorkloadSpec],
+    shard: ShardSpec,
+) -> Vec<CellKey> {
+    matrix::shard_jobs(kinds, specs, shard.index0(), shard.count)
+        .iter()
+        .map(|j| CellKey::of(j, specs))
+        .collect()
+}
+
+/// Runs shard `shard` of a `kinds` × `specs` grid on the work-stealing
+/// scheduler, returning `(cell, result)` pairs in slot order.
+pub fn run_matrix_shard(
+    kinds: &[SchemeKind],
+    specs: &[&'static WorkloadSpec],
+    ratio: NmRatio,
+    cfg: &EvalConfig,
+    shard: ShardSpec,
+) -> Vec<(CellKey, RunResult)> {
+    Matrix::run_shard(kinds, specs, ratio, cfg, shard.index0(), shard.count)
+        .into_iter()
+        .map(|(job, r)| (CellKey::of(&job, specs), r))
+        .collect()
+}
+
+/// Short stable token for an NM:FM ratio (`1gb`/`2gb`/`4gb`), used in
+/// shard headers and accepted by the CLI's `--ratio` flag.
+pub fn ratio_token(ratio: NmRatio) -> &'static str {
+    match ratio {
+        NmRatio::OneGb => "1gb",
+        NmRatio::TwoGb => "2gb",
+        NmRatio::FourGb => "4gb",
+    }
+}
+
+/// Parses a [`ratio_token`] back to the ratio.
+pub fn parse_ratio_token(s: &str) -> Result<NmRatio, String> {
+    match s {
+        "1gb" => Ok(NmRatio::OneGb),
+        "2gb" => Ok(NmRatio::TwoGb),
+        "4gb" => Ok(NmRatio::FourGb),
+        other => Err(format!("unknown ratio {other:?}; use 1gb, 2gb or 4gb")),
+    }
+}
+
+/// Stable token for a scheme kind in cell rows.
+fn kind_token(kind: SchemeKind) -> String {
+    use hybrid2_core::Variant;
+    match kind {
+        SchemeKind::Baseline => "baseline".into(),
+        SchemeKind::MemPod => "mempod".into(),
+        SchemeKind::Chameleon => "chameleon".into(),
+        SchemeKind::Lgm => "lgm".into(),
+        SchemeKind::Tagless => "tagless".into(),
+        SchemeKind::Dfc => "dfc".into(),
+        SchemeKind::Hybrid2 => "hybrid2".into(),
+        SchemeKind::DfcLine(l) => format!("dfc-line={l}"),
+        SchemeKind::IdealLine(l) => format!("ideal-line={l}"),
+        SchemeKind::Hybrid2Variant(v) => format!(
+            "hybrid2-variant={}",
+            match v {
+                Variant::Full => "full",
+                Variant::CacheOnly => "cache-only",
+                Variant::MigrateAll => "migrate-all",
+                Variant::MigrateNone => "migrate-none",
+                Variant::NoRemap => "no-remap",
+            }
+        ),
+        SchemeKind::Hybrid2Config {
+            cache_bytes_paper,
+            sector,
+            line,
+        } => format!("hybrid2-config={cache_bytes_paper}:{sector}:{line}"),
+    }
+}
+
+/// Parses a [`kind_token`] back to the scheme kind.
+fn parse_kind_token(s: &str) -> Result<SchemeKind, String> {
+    use hybrid2_core::Variant;
+    let plain = match s {
+        "baseline" => Some(SchemeKind::Baseline),
+        "mempod" => Some(SchemeKind::MemPod),
+        "chameleon" => Some(SchemeKind::Chameleon),
+        "lgm" => Some(SchemeKind::Lgm),
+        "tagless" => Some(SchemeKind::Tagless),
+        "dfc" => Some(SchemeKind::Dfc),
+        "hybrid2" => Some(SchemeKind::Hybrid2),
+        _ => None,
+    };
+    if let Some(kind) = plain {
+        return Ok(kind);
+    }
+    let err = || format!("unknown scheme token {s:?}");
+    let (name, arg) = s.split_once('=').ok_or_else(err)?;
+    match name {
+        "dfc-line" => Ok(SchemeKind::DfcLine(parse_u64(arg, "dfc line size")?)),
+        "ideal-line" => Ok(SchemeKind::IdealLine(parse_u64(arg, "ideal line size")?)),
+        "hybrid2-variant" => {
+            let v = match arg {
+                "full" => Variant::Full,
+                "cache-only" => Variant::CacheOnly,
+                "migrate-all" => Variant::MigrateAll,
+                "migrate-none" => Variant::MigrateNone,
+                "no-remap" => Variant::NoRemap,
+                _ => return Err(err()),
+            };
+            Ok(SchemeKind::Hybrid2Variant(v))
+        }
+        "hybrid2-config" => {
+            let mut it = arg.split(':');
+            let (Some(c), Some(sec), Some(line), None) =
+                (it.next(), it.next(), it.next(), it.next())
+            else {
+                return Err(err());
+            };
+            Ok(SchemeKind::Hybrid2Config {
+                cache_bytes_paper: parse_u64(c, "hybrid2 cache bytes")?,
+                sector: parse_u64(sec, "hybrid2 sector")?,
+                line: parse_u64(line, "hybrid2 line")?,
+            })
+        }
+        _ => Err(err()),
+    }
+}
+
+/// The schemes of every shardable grid: the baseline row plus MAIN, in
+/// slot-row order. (Parameterized sweeps like Figure 11 stay in-process.)
+fn grid_kinds() -> Vec<SchemeKind> {
+    SchemeKind::MAIN.to_vec()
+}
+
+/// Resolves a grid id to its (scheme rows, workloads) job space.
+fn resolve(grid: &GridId) -> Result<(Vec<SchemeKind>, Vec<&'static WorkloadSpec>), String> {
+    match grid {
+        GridId::Scenario { selector } => {
+            let scens = scenario::select(selector)
+                .ok_or_else(|| format!("unknown scenario selector {selector:?}"))?;
+            Ok((grid_kinds(), scenario::workloads_of(&scens)))
+        }
+        GridId::Eval { smoke } => Ok((grid_kinds(), experiments::workload_set(*smoke))),
+    }
+}
+
+/// Runs one shard of `grid` and returns the encoded shard file contents.
+pub fn run_shard(
+    grid: &GridId,
+    ratio: NmRatio,
+    cfg: &EvalConfig,
+    shard: ShardSpec,
+) -> Result<String, String> {
+    let (kinds, specs) = resolve(grid)?;
+    let cells = run_matrix_shard(&kinds, &specs, ratio, cfg, shard);
+    Ok(encode(grid, ratio, cfg, shard, &cells))
+}
+
+/// Renders the reports a monolithic run of `grid` would print — the merge
+/// path and the monolithic path share this function, so byte-identity of
+/// the rendered output reduces to equality of the [`Matrix`].
+pub fn reports(grid: &GridId, m: &Matrix) -> Vec<Report> {
+    match grid {
+        GridId::Scenario { .. } => scenario::grid_reports(m),
+        GridId::Eval { .. } => experiments::evalsuite_reports(m),
+    }
+}
+
+/// IEEE-754 bit pattern of `v` as fixed-width hex — the exact-round-trip
+/// float encoding used in cell rows.
+fn f64_bits(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+fn parse_f64_bits(s: &str, what: &str) -> Result<f64, String> {
+    if s.len() != 16 {
+        return Err(format!("{what} {s:?} is not a 16-digit hex bit pattern"));
+    }
+    u64::from_str_radix(s, 16)
+        .map(f64::from_bits)
+        .map_err(|_| format!("{what} {s:?} is not a 16-digit hex bit pattern"))
+}
+
+fn parse_u64(s: &str, what: &str) -> Result<u64, String> {
+    s.parse()
+        .map_err(|_| format!("{what} {s:?} is not an unsigned integer"))
+}
+
+fn parse_usize(s: &str, what: &str) -> Result<usize, String> {
+    s.parse()
+        .map_err(|_| format!("{what} {s:?} is not an unsigned integer"))
+}
+
+/// Encodes one shard's cells to the versioned TSV interchange format.
+/// Rows are written in slot order; floats as bit patterns; the header
+/// pins everything [`merge`] needs to re-enumerate the job space.
+fn encode(
+    grid: &GridId,
+    ratio: NmRatio,
+    cfg: &EvalConfig,
+    shard: ShardSpec,
+    cells: &[(CellKey, RunResult)],
+) -> String {
+    let mut out = String::new();
+    out.push_str(VERSION);
+    out.push('\n');
+    match grid {
+        GridId::Scenario { selector } => {
+            debug_assert!(!selector.contains(['\t', '\n']));
+            out.push_str(&format!("grid\tscenario\t{selector}\n"));
+        }
+        GridId::Eval { smoke } => {
+            out.push_str(&format!(
+                "grid\teval\t{}\n",
+                if *smoke { "smoke" } else { "full" }
+            ));
+        }
+    }
+    out.push_str(&format!("ratio\t{}\n", ratio_token(ratio)));
+    out.push_str(&format!("scale\t{}\n", cfg.scale_den));
+    out.push_str(&format!("instrs\t{}\n", cfg.instrs_per_core));
+    out.push_str(&format!("seed\t{}\n", cfg.seed));
+    out.push_str(&format!("shard\t{shard}\n"));
+    out.push_str(&format!("cells\t{}\n", cells.len()));
+    for (key, r) in cells {
+        // Destructure exhaustively: adding a RunResult or SchemeStats
+        // field without extending the format (and bumping VERSION) must
+        // not compile.
+        let RunResult {
+            scheme,
+            workload,
+            cycles,
+            instructions,
+            mem_ops,
+            mpki,
+            nm_served,
+            fm_traffic,
+            nm_traffic,
+            energy_mj,
+            footprint,
+            ref stats,
+        } = *r;
+        let SchemeStats {
+            requests,
+            reads,
+            writes,
+            served_from_nm,
+            lookup_hits,
+            lookup_misses,
+            moved_into_nm,
+            moved_out_of_nm,
+            dirty_writebacks,
+            metadata_reads,
+            metadata_writes,
+            fetched_bytes,
+            used_bytes,
+        } = *stats;
+        out.push_str(&format!(
+            "cell\t{slot}\t{kind}\t{workload}\t{scheme}\t{cycles}\t{instructions}\t{mem_ops}\t\
+             {mpki}\t{nm_served}\t{fm_traffic}\t{nm_traffic}\t{energy}\t{footprint}\t\
+             {requests}\t{reads}\t{writes}\t{served_from_nm}\t{lookup_hits}\t{lookup_misses}\t\
+             {moved_into_nm}\t{moved_out_of_nm}\t{dirty_writebacks}\t{metadata_reads}\t\
+             {metadata_writes}\t{fetched_bytes}\t{used_bytes}\n",
+            slot = key.slot,
+            kind = kind_token(key.kind),
+            mpki = f64_bits(mpki),
+            nm_served = f64_bits(nm_served),
+            energy = f64_bits(energy_mj),
+        ));
+    }
+    out
+}
+
+/// A decoded cell row: the address plus every measurement, with the
+/// `&'static str` scheme/workload names still as owned strings (merge
+/// substitutes the statics after verifying them against the grid).
+struct DecodedCell {
+    slot: usize,
+    kind: SchemeKind,
+    workload: String,
+    scheme_name: String,
+    cycles: u64,
+    instructions: u64,
+    mem_ops: u64,
+    mpki: f64,
+    nm_served: f64,
+    fm_traffic: u64,
+    nm_traffic: u64,
+    energy_mj: f64,
+    footprint: u64,
+    stats: SchemeStats,
+}
+
+/// A fully parsed shard file.
+struct ShardFile {
+    grid: GridId,
+    ratio: NmRatio,
+    scale_den: u64,
+    instrs_per_core: u64,
+    seed: u64,
+    shard: ShardSpec,
+    cells: Vec<DecodedCell>,
+}
+
+/// Parses one shard file.
+fn decode(contents: &str) -> Result<ShardFile, String> {
+    let mut lines = contents.lines();
+    match lines.next() {
+        Some(v) if v == VERSION => {}
+        Some(v) => {
+            return Err(format!(
+                "unsupported shard format {v:?} (expected {VERSION})"
+            ))
+        }
+        None => return Err("empty shard file".to_owned()),
+    }
+    let mut header = |key: &str| -> Result<Vec<String>, String> {
+        let line = lines
+            .next()
+            .ok_or_else(|| format!("missing {key:?} header"))?;
+        let mut cols = line.split('\t');
+        match cols.next() {
+            Some(k) if k == key => Ok(cols.map(str::to_owned).collect()),
+            _ => Err(format!("expected {key:?} header, got {line:?}")),
+        }
+    };
+    let grid_cols = header("grid")?;
+    let grid = match grid_cols.as_slice() {
+        [k, sel] if k == "scenario" => GridId::Scenario {
+            selector: sel.clone(),
+        },
+        [k, set] if k == "eval" && set == "smoke" => GridId::Eval { smoke: true },
+        [k, set] if k == "eval" && set == "full" => GridId::Eval { smoke: false },
+        _ => return Err(format!("unknown grid header {grid_cols:?}")),
+    };
+    let one = |cols: Vec<String>, key: &str| -> Result<String, String> {
+        match cols.as_slice() {
+            [v] => Ok(v.clone()),
+            _ => Err(format!("{key:?} header needs exactly one value")),
+        }
+    };
+    let ratio = parse_ratio_token(&one(header("ratio")?, "ratio")?)?;
+    let scale_den = parse_u64(&one(header("scale")?, "scale")?, "scale")?;
+    let instrs_per_core = parse_u64(&one(header("instrs")?, "instrs")?, "instrs")?;
+    let seed = parse_u64(&one(header("seed")?, "seed")?, "seed")?;
+    let shard = ShardSpec::parse(&one(header("shard")?, "shard")?)?;
+    let cell_count = parse_usize(&one(header("cells")?, "cells")?, "cells")?;
+    if scale_den == 0 || scale_den > 1 << 30 {
+        return Err(format!("scale {scale_den} out of range"));
+    }
+
+    // Cap the pre-allocation: `cell_count` is untrusted file input, and a
+    // corrupt header must produce an Err (exit 1), never an allocation
+    // panic/abort. The count-vs-rows check below still catches any lie.
+    let mut cells = Vec::with_capacity(cell_count.min(4096));
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let cols: Vec<&str> = line.split('\t').collect();
+        if cols.first() != Some(&"cell") {
+            return Err(format!("expected cell row, got {line:?}"));
+        }
+        if cols.len() != CELL_COLS {
+            return Err(format!(
+                "cell row has {} columns, expected {CELL_COLS}: {line:?}",
+                cols.len()
+            ));
+        }
+        let u = |i: usize, what: &str| parse_u64(cols[i], what);
+        cells.push(DecodedCell {
+            slot: parse_usize(cols[1], "slot")?,
+            kind: parse_kind_token(cols[2])?,
+            workload: cols[3].to_owned(),
+            scheme_name: cols[4].to_owned(),
+            cycles: u(5, "cycles")?,
+            instructions: u(6, "instructions")?,
+            mem_ops: u(7, "mem_ops")?,
+            mpki: parse_f64_bits(cols[8], "mpki")?,
+            nm_served: parse_f64_bits(cols[9], "nm_served")?,
+            fm_traffic: u(10, "fm_traffic")?,
+            nm_traffic: u(11, "nm_traffic")?,
+            energy_mj: parse_f64_bits(cols[12], "energy_mj")?,
+            footprint: u(13, "footprint")?,
+            stats: SchemeStats {
+                requests: u(14, "requests")?,
+                reads: u(15, "reads")?,
+                writes: u(16, "writes")?,
+                served_from_nm: u(17, "served_from_nm")?,
+                lookup_hits: u(18, "lookup_hits")?,
+                lookup_misses: u(19, "lookup_misses")?,
+                moved_into_nm: u(20, "moved_into_nm")?,
+                moved_out_of_nm: u(21, "moved_out_of_nm")?,
+                dirty_writebacks: u(22, "dirty_writebacks")?,
+                metadata_reads: u(23, "metadata_reads")?,
+                metadata_writes: u(24, "metadata_writes")?,
+                fetched_bytes: u(25, "fetched_bytes")?,
+                used_bytes: u(26, "used_bytes")?,
+            },
+        });
+    }
+    if cells.len() != cell_count {
+        return Err(format!(
+            "header declares {cell_count} cells but file holds {}",
+            cells.len()
+        ));
+    }
+    Ok(ShardFile {
+        grid,
+        ratio,
+        scale_den,
+        instrs_per_core,
+        seed,
+        shard,
+        cells,
+    })
+}
+
+/// The reassembled result of [`merge`].
+#[derive(Debug)]
+pub struct Merged {
+    /// The grid the shards sliced.
+    pub grid: GridId,
+    /// The NM:FM ratio of the run.
+    pub ratio: NmRatio,
+    /// Sizing knobs recovered from the shard headers (threads is the
+    /// caller's business — it never affects results).
+    pub scale_den: u64,
+    /// Instructions per core per run.
+    pub instrs_per_core: u64,
+    /// RNG seed of the run.
+    pub seed: u64,
+    /// The full grid, exactly as a monolithic run computes it.
+    pub matrix: Matrix,
+}
+
+/// Merges shard files (as `(name, contents)` pairs, names only for error
+/// messages) back into the full [`Matrix`].
+///
+/// Validation is strict: all headers must agree on grid, ratio, sizing and
+/// shard count; all `N` shard indices must be present exactly once; and
+/// every file must claim exactly the cells the deterministic partition
+/// assigns it, with scheme/workload names matching the grid's own. Any
+/// violation is an `Err` naming the offending file — never a panic.
+pub fn merge(inputs: &[(String, String)]) -> Result<Merged, String> {
+    let first_name = match inputs {
+        [] => return Err("merge needs at least one shard file".to_owned()),
+        [(name, _), ..] => name.clone(),
+    };
+    let mut files = Vec::with_capacity(inputs.len());
+    for (name, contents) in inputs {
+        files.push((
+            name.as_str(),
+            decode(contents).map_err(|e| format!("{name}: {e}"))?,
+        ));
+    }
+    let head = &files[0].1;
+    for (name, f) in &files[1..] {
+        if f.grid != head.grid
+            || f.ratio != head.ratio
+            || f.scale_den != head.scale_den
+            || f.instrs_per_core != head.instrs_per_core
+            || f.seed != head.seed
+        {
+            return Err(format!(
+                "{name}: header disagrees with {first_name} (grid/ratio/scale/instrs/seed must \
+                 match across shards)"
+            ));
+        }
+        if f.shard.count != head.shard.count {
+            return Err(format!(
+                "{name}: shard count {} disagrees with {first_name}'s {}",
+                f.shard.count, head.shard.count
+            ));
+        }
+    }
+    let count = head.shard.count;
+    // `count` is untrusted header input: bound it by the file count
+    // before allocating the presence table (an N-way split needs N
+    // files, so a larger count is already a missing-shard error).
+    if count > files.len() {
+        return Err(format!(
+            "split is {count}-way but only {} shard file(s) supplied",
+            files.len()
+        ));
+    }
+    let mut have = vec![None::<&str>; count];
+    for (name, f) in &files {
+        if let Some(prev) = have[f.shard.index - 1] {
+            return Err(format!(
+                "shard {} appears twice ({prev} and {name})",
+                f.shard
+            ));
+        }
+        have[f.shard.index - 1] = Some(name);
+    }
+    if let Some(missing) = have.iter().position(Option::is_none) {
+        return Err(format!("missing shard {}/{count}", missing + 1));
+    }
+
+    let (kinds, specs) = resolve(&head.grid)?;
+    // Scheme names are scale-independent, so extract them at a known-good
+    // reference scale: the untrusted `scale` header (metadata from here
+    // on) must never reach `ScaledSystem::new`'s validity asserts.
+    let sys = ScaledSystem::new(head.ratio, 1024);
+    let row_kinds: Vec<SchemeKind> = std::iter::once(SchemeKind::Baseline)
+        .chain(kinds.iter().copied())
+        .collect();
+    let scheme_names: Vec<&'static str> = row_kinds
+        .iter()
+        .map(|&k| build_scheme(k, &sys).name())
+        .collect();
+
+    let total = (kinds.len() + 1) * specs.len();
+    let mut flat: Vec<Option<RunResult>> = (0..total).map(|_| None).collect();
+    for (name, f) in &files {
+        let expected = shard_cell_keys(&kinds, &specs, f.shard);
+        if f.cells.len() != expected.len() {
+            return Err(format!(
+                "{name}: shard {} holds {} cells but the partition assigns it {}",
+                f.shard,
+                f.cells.len(),
+                expected.len()
+            ));
+        }
+        for (cell, key) in f.cells.iter().zip(&expected) {
+            if cell.slot != key.slot || cell.kind != key.kind || cell.workload != key.workload {
+                return Err(format!(
+                    "{name}: cell (slot {}, {}, {}) does not match the partition's (slot {}, {}, \
+                     {})",
+                    cell.slot,
+                    kind_token(cell.kind),
+                    cell.workload,
+                    key.slot,
+                    kind_token(key.kind),
+                    key.workload
+                ));
+            }
+            let row = key.slot / specs.len();
+            let expected_name = scheme_names[row];
+            if cell.scheme_name != expected_name {
+                return Err(format!(
+                    "{name}: slot {} records scheme name {:?}, grid says {expected_name:?}",
+                    key.slot, cell.scheme_name
+                ));
+            }
+            let w = key.slot % specs.len();
+            flat[key.slot] = Some(RunResult {
+                scheme: expected_name,
+                workload: specs[w].name,
+                cycles: cell.cycles,
+                instructions: cell.instructions,
+                mem_ops: cell.mem_ops,
+                mpki: cell.mpki,
+                nm_served: cell.nm_served,
+                fm_traffic: cell.fm_traffic,
+                nm_traffic: cell.nm_traffic,
+                energy_mj: cell.energy_mj,
+                footprint: cell.footprint,
+                stats: cell.stats.clone(),
+            });
+        }
+    }
+    let flat: Vec<RunResult> = flat
+        .into_iter()
+        .enumerate()
+        .map(|(slot, cell)| cell.ok_or_else(|| format!("no shard supplied slot {slot}")))
+        .collect::<Result<_, _>>()?;
+    Ok(Merged {
+        grid: head.grid.clone(),
+        ratio: head.ratio,
+        scale_den: head.scale_den,
+        instrs_per_core: head.instrs_per_core,
+        seed: head.seed,
+        matrix: Matrix::assemble(&kinds, &specs, head.ratio, flat),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::catalog;
+
+    #[test]
+    fn shard_spec_parses_and_rejects() {
+        assert_eq!(
+            ShardSpec::parse("2/4").unwrap(),
+            ShardSpec { index: 2, count: 4 }
+        );
+        assert_eq!(ShardSpec::parse("1/1").unwrap().to_string(), "1/1");
+        for bad in ["", "3", "0/4", "5/4", "1/0", "a/b", "1/2/3", "-1/2"] {
+            assert!(ShardSpec::parse(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn ratio_tokens_round_trip() {
+        for r in NmRatio::ALL {
+            assert_eq!(parse_ratio_token(ratio_token(r)).unwrap(), r);
+        }
+        assert!(parse_ratio_token("8gb").is_err());
+    }
+
+    #[test]
+    fn kind_tokens_round_trip() {
+        use hybrid2_core::Variant;
+        let mut kinds = vec![
+            SchemeKind::Baseline,
+            SchemeKind::DfcLine(1024),
+            SchemeKind::IdealLine(256),
+            SchemeKind::Hybrid2Config {
+                cache_bytes_paper: 64 << 20,
+                sector: 2048,
+                line: 256,
+            },
+        ];
+        kinds.extend(SchemeKind::MAIN);
+        kinds.extend(Variant::ALL.map(SchemeKind::Hybrid2Variant));
+        for kind in kinds {
+            let tok = kind_token(kind);
+            assert_eq!(parse_kind_token(&tok).unwrap(), kind, "token {tok}");
+        }
+        assert!(parse_kind_token("quantum-cache").is_err());
+        assert!(parse_kind_token("hybrid2-variant=bogus").is_err());
+        assert!(parse_kind_token("hybrid2-config=1:2").is_err());
+    }
+
+    #[test]
+    fn cell_keys_are_disjoint_covering_and_slot_ordered() {
+        let specs: Vec<&'static WorkloadSpec> = catalog::smoke_set().to_vec();
+        let kinds = grid_kinds();
+        let total = (kinds.len() + 1) * specs.len();
+        for count in [1, 2, 3, 7, total + 5] {
+            let mut seen = vec![false; total];
+            for index in 1..=count {
+                let keys = shard_cell_keys(&kinds, &specs, ShardSpec { index, count });
+                assert!(keys.windows(2).all(|p| p[0].slot < p[1].slot));
+                for k in keys {
+                    assert!(!seen[k.slot]);
+                    seen[k.slot] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "count={count} not covering");
+        }
+    }
+
+    /// A synthetic grid (no simulation): every cell gets distinctive
+    /// numbers, including float bit patterns that decimal formatting
+    /// would destroy.
+    fn synthetic_cells(
+        kinds: &[SchemeKind],
+        specs: &[&'static WorkloadSpec],
+        ratio: NmRatio,
+        scale_den: u64,
+        shard: ShardSpec,
+    ) -> Vec<(CellKey, RunResult)> {
+        let sys = ScaledSystem::new(ratio, scale_den);
+        shard_cell_keys(kinds, specs, shard)
+            .into_iter()
+            .map(|key| {
+                let x = key.slot as u64;
+                let r = RunResult {
+                    scheme: build_scheme(key.kind, &sys).name(),
+                    workload: key.workload,
+                    cycles: 1000 + x,
+                    instructions: 77 * x + 1,
+                    mem_ops: 13 * x,
+                    mpki: (x as f64 + 0.1) / 3.0,
+                    nm_served: if x.is_multiple_of(2) {
+                        -0.0
+                    } else {
+                        f64::MIN_POSITIVE
+                    },
+                    fm_traffic: x << 20,
+                    nm_traffic: x << 18,
+                    energy_mj: 1e-300 * (x + 1) as f64,
+                    footprint: 4096 * x,
+                    stats: SchemeStats {
+                        requests: x,
+                        reads: x / 2,
+                        writes: x - x / 2,
+                        served_from_nm: x / 3,
+                        lookup_hits: 2 * x,
+                        lookup_misses: x + 5,
+                        moved_into_nm: x % 7,
+                        moved_out_of_nm: x % 5,
+                        dirty_writebacks: x % 3,
+                        metadata_reads: 9 * x,
+                        metadata_writes: 8 * x,
+                        fetched_bytes: x << 10,
+                        used_bytes: x << 9,
+                    },
+                };
+                (key, r)
+            })
+            .collect()
+    }
+
+    fn synthetic_shards(count: usize) -> (GridId, EvalConfig, Vec<(String, String)>) {
+        let grid = GridId::Scenario {
+            selector: "stream-chase".to_owned(),
+        };
+        let cfg = EvalConfig {
+            scale_den: 1024,
+            instrs_per_core: 1,
+            seed: 11,
+            threads: 1,
+        };
+        let (kinds, specs) = resolve(&grid).unwrap();
+        let files = (1..=count)
+            .map(|index| {
+                let shard = ShardSpec { index, count };
+                let cells = synthetic_cells(&kinds, &specs, NmRatio::OneGb, cfg.scale_den, shard);
+                (
+                    format!("s{index}.tsv"),
+                    encode(&grid, NmRatio::OneGb, &cfg, shard, &cells),
+                )
+            })
+            .collect();
+        (grid, cfg, files)
+    }
+
+    #[test]
+    fn encode_merge_round_trips_every_field_bit_for_bit() {
+        let (grid, cfg, files) = synthetic_shards(3);
+        let merged = merge(&files).unwrap();
+        assert_eq!(merged.grid, grid);
+        assert_eq!(merged.scale_den, cfg.scale_den);
+        assert_eq!(merged.seed, cfg.seed);
+        let (kinds, specs) = resolve(&grid).unwrap();
+        let all = synthetic_cells(
+            &kinds,
+            &specs,
+            NmRatio::OneGb,
+            cfg.scale_den,
+            ShardSpec { index: 1, count: 1 },
+        );
+        let m = &merged.matrix;
+        for (key, want) in &all {
+            let got = if key.slot < specs.len() {
+                &m.baseline[key.slot]
+            } else {
+                &m.schemes[key.slot / specs.len() - 1].runs[key.slot % specs.len()]
+            };
+            assert_eq!(got.scheme, want.scheme);
+            assert_eq!(got.workload, want.workload);
+            assert_eq!(got.cycles, want.cycles);
+            assert_eq!(got.mpki.to_bits(), want.mpki.to_bits());
+            assert_eq!(got.nm_served.to_bits(), want.nm_served.to_bits());
+            assert_eq!(got.energy_mj.to_bits(), want.energy_mj.to_bits());
+            assert_eq!(got.stats, want.stats);
+        }
+    }
+
+    #[test]
+    fn merge_handles_empty_shards_when_count_exceeds_cells() {
+        // 7 cells (MAIN + baseline × 1 scenario), 9 shards: two are empty.
+        let (_, _, files) = synthetic_shards(9);
+        assert!(files.iter().any(|(_, c)| c.contains("\ncells\t0\n")));
+        assert!(merge(&files).is_ok());
+    }
+
+    #[test]
+    fn merge_rejects_bad_inputs() {
+        let (_, _, files) = synthetic_shards(2);
+
+        assert!(merge(&[]).unwrap_err().contains("at least one"));
+
+        let mut missing = files.clone();
+        missing.pop();
+        assert!(merge(&missing).unwrap_err().contains("2-way"));
+
+        let dup = vec![files[0].clone(), files[0].clone()];
+        assert!(merge(&dup).unwrap_err().contains("appears twice"));
+
+        let mut bad_seed = files.clone();
+        bad_seed[1].1 = bad_seed[1].1.replace("seed\t11", "seed\t12");
+        assert!(merge(&bad_seed).unwrap_err().contains("disagrees"));
+
+        let mut bad_version = files.clone();
+        bad_version[0].1 = bad_version[0].1.replacen(VERSION, "hybrid2-shard-v0", 1);
+        assert!(merge(&bad_version).unwrap_err().contains("unsupported"));
+
+        let mut truncated = files.clone();
+        let cut = truncated[0].1.rfind("cell\t").unwrap();
+        truncated[0].1.truncate(cut);
+        assert!(merge(&truncated).unwrap_err().contains("cells"));
+
+        // A corrupt cell count must be an Err, never an allocation
+        // panic/abort — the CI merge gate feeds merge untrusted artifacts.
+        let mut huge_count = files.clone();
+        huge_count[0].1 = huge_count[0]
+            .1
+            .replace("\ncells\t4\n", &format!("\ncells\t{}\n", u64::MAX));
+        let e = merge(&huge_count).unwrap_err();
+        assert!(e.contains("cells"), "{e}");
+
+        // Likewise a corrupt shard count: bounded by the file count
+        // before any allocation sized by it.
+        let mut huge_split: Vec<(String, String)> = files.clone();
+        for f in &mut huge_split {
+            f.1 = f.1.replace("/2\n", "/99999999999\n");
+        }
+        let e = merge(&huge_split).unwrap_err();
+        assert!(e.contains("supplied"), "{e}");
+
+        // An extreme `scale` header is metadata at merge time — it must
+        // not reach ScaledSystem's validity asserts and panic.
+        let mut wild_scale = files.clone();
+        for f in &mut wild_scale {
+            f.1 = f.1.replace("scale\t1024", "scale\t1000000");
+        }
+        assert!(merge(&wild_scale).is_ok());
+
+        let mut bad_float = files.clone();
+        // -0.0's bit pattern: nm_served of every even slot, of which a
+        // 4-cell shard of a 7-cell grid always holds at least one.
+        bad_float[0].1 = bad_float[0]
+            .1
+            .replace("\t8000000000000000\t", "\tnot-a-float-xx\t");
+        let e = merge(&bad_float).unwrap_err();
+        assert!(e.contains("hex bit pattern"), "{e}");
+    }
+}

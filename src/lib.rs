@@ -61,7 +61,8 @@ pub use workloads as traffic;
 pub use dram::{DramSystem, MemoryScheme, SchemeStats, Served};
 pub use hybrid2_core::{ConfigError, Dcmc, Hybrid2Config, Variant};
 pub use sim::{
-    AnyScheme, EvalConfig, Machine, Matrix, NmRatio, RunResult, ScaledSystem, SchemeKind,
+    AnyScheme, EvalConfig, GridId, Machine, Matrix, Merged, NmRatio, RunResult, ScaledSystem,
+    SchemeKind, ShardSpec,
 };
 
 /// The most common imports in one place.

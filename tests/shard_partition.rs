@@ -1,0 +1,68 @@
+//! Property tests on the deterministic grid partition behind `--shard
+//! K/N`: for arbitrary grid shapes and split counts the shards must be
+//! pairwise **disjoint**, **covering** (every cell claimed exactly once),
+//! **order-stable** (slot-sorted and identical on re-enumeration), and
+//! balanced to within one cell (the LPT round-robin deal).
+//!
+//! Pure enumeration — no simulation runs — so the 256 cases per property
+//! stay tier-1 cheap.
+
+use hybrid2::harness::shard::{shard_cell_keys, ShardSpec};
+use hybrid2::SchemeKind;
+use workloads::{catalog, WorkloadSpec};
+
+use proptest::prelude::*;
+
+/// A grid shape drawn from the real catalog: the first `w` workloads and
+/// the first `k` MAIN schemes.
+fn grid(w: usize, k: usize) -> (Vec<SchemeKind>, Vec<&'static WorkloadSpec>) {
+    let kinds = SchemeKind::MAIN[..k].to_vec();
+    let specs: Vec<&'static WorkloadSpec> = catalog::all().iter().take(w).collect();
+    (kinds, specs)
+}
+
+proptest! {
+    #[test]
+    fn partitions_are_exact_for_arbitrary_splits(
+        w in 1usize..=8,
+        k in 1usize..=6,
+        count in 1usize..=16,
+    ) {
+        let (kinds, specs) = grid(w, k);
+        let total = (kinds.len() + 1) * specs.len();
+        let mut seen = vec![false; total];
+        for index in 1..=count {
+            let spec = ShardSpec { index, count };
+            let keys = shard_cell_keys(&kinds, &specs, spec);
+
+            // Order-stable: slot-sorted, and byte-identical on
+            // re-enumeration.
+            prop_assert!(keys.windows(2).all(|p| p[0].slot < p[1].slot));
+            prop_assert_eq!(&keys, &shard_cell_keys(&kinds, &specs, spec));
+
+            // Balanced: the LPT deal gives every shard total/count cells,
+            // plus at most one.
+            prop_assert!(
+                keys.len() == total / count || keys.len() == total / count + 1,
+                "shard {}/{} got {} of {} cells", index, count, keys.len(), total
+            );
+
+            // Disjoint, and addresses are self-consistent.
+            for key in keys {
+                prop_assert!(key.slot < total);
+                prop_assert!(!seen[key.slot], "slot {} claimed twice", key.slot);
+                seen[key.slot] = true;
+                let row = key.slot / specs.len();
+                let expect_kind = if row == 0 {
+                    SchemeKind::Baseline
+                } else {
+                    kinds[row - 1]
+                };
+                prop_assert_eq!(key.kind, expect_kind);
+                prop_assert_eq!(key.workload, specs[key.slot % specs.len()].name);
+            }
+        }
+        // Covering: every cell claimed by exactly one shard.
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+}
