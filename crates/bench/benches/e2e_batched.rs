@@ -1,0 +1,61 @@
+//! Epoch-batched vs per-op reference machine-loop throughput.
+//!
+//! The tentpole claim of the batching PR, measured the only way that is
+//! honest on a drifting-load box: `Machine::run_reference` *is* the PR 2
+//! hot path kept verbatim, so one process interleaves pre (reference) and
+//! post (batched) samples back-to-back per scheme — no binary juggling,
+//! no cross-run drift between a pair. Captured to `BENCH_batched.json`
+//! via `CRITERION_SHIM_JSON`; the gate is mem-ops/sec geomean
+//! batched-over-reference ≥ 1.1×, with byte-identity of the two loops
+//! enforced separately (tests/batched_differential.rs, CI batched-verify).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dram::DramSystem;
+use mem_cache::Hierarchy;
+use sim::{build_scheme, scheme_label, EvalConfig, Machine, NmRatio, ScaledSystem, SchemeKind};
+use workloads::{catalog, Workload};
+
+fn machine(kind: SchemeKind, cfg: &EvalConfig) -> Machine {
+    let sys = ScaledSystem::new(NmRatio::OneGb, cfg.scale_den);
+    let spec = catalog::by_name("lbm").unwrap();
+    Machine::new(
+        8,
+        Hierarchy::new(sys.hierarchy()),
+        build_scheme(kind, &sys),
+        DramSystem::paper_default(),
+        Workload::build(spec, 8, cfg.scale_den, cfg.seed),
+        cfg.seed,
+    )
+}
+
+fn e2e_batched(c: &mut Criterion) {
+    let cfg = EvalConfig::smoke();
+    let mut group = c.benchmark_group("e2e_batched");
+    group.sample_size(7);
+    for kind in SchemeKind::MAIN {
+        // Reference and batched adjacent in time: the pair shares whatever
+        // load the box is under, so their ratio is meaningful even when
+        // absolute numbers drift between schemes.
+        group.bench_function(format!("ref/{}", scheme_label(kind)), |b| {
+            b.iter(|| machine(kind, &cfg).run_reference(cfg.instrs_per_core))
+        });
+        group.bench_function(format!("batched/{}", scheme_label(kind)), |b| {
+            b.iter(|| machine(kind, &cfg).run_batched(cfg.instrs_per_core, cfg.batch))
+        });
+    }
+    group.finish();
+
+    // Ops-per-run constant for deriving mem-ops/sec from the timings
+    // (identical across schemes and across the two loops — asserted).
+    let a = machine(SchemeKind::Hybrid2, &cfg).run_reference(cfg.instrs_per_core);
+    let b = machine(SchemeKind::Hybrid2, &cfg).run_batched(cfg.instrs_per_core, cfg.batch);
+    assert_eq!(a.mem_ops, b.mem_ops, "loops disagree on op count");
+    println!("e2e_batched/mem_ops_per_run: {}", a.mem_ops);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = e2e_batched
+}
+criterion_main!(benches);

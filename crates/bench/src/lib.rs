@@ -23,6 +23,7 @@ pub fn bench_cfg() -> EvalConfig {
         threads: std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(4),
+        ..EvalConfig::smoke()
     }
 }
 
@@ -33,6 +34,7 @@ pub fn kernel_cfg() -> EvalConfig {
         instrs_per_core: 30_000,
         seed: 9,
         threads: 1,
+        ..EvalConfig::smoke()
     }
 }
 

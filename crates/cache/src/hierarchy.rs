@@ -198,6 +198,33 @@ impl Hierarchy {
         self.llc.mark_dirty(addr.raw())
     }
 
+    /// The private-hit fast path of the epoch-batched machine loop: if
+    /// `addr`'s line is resident in `core`'s L1, performs the access with
+    /// mutations identical to [`Hierarchy::access`]'s L1-hit path (L1 LRU
+    /// stamp, dirty bit, per-cache and aggregate counters) and returns
+    /// `true`. Otherwise mutates **nothing** and returns `false`; the
+    /// caller must replay the op through [`Hierarchy::access`] once it is
+    /// globally ordered, and that replay counts the access exactly once.
+    ///
+    /// Only L1 hits qualify as core-local: an L1 miss can displace a dirty
+    /// L1 victim into L2 and from there spill into the shared LLC, so
+    /// everything below L1 belongs to the globally ordered path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    #[inline]
+    pub fn l1_access_fast(&mut self, core: usize, addr: PAddr, kind: AccessKind) -> bool {
+        assert!(core < self.cfg.cores, "core {core} out of range");
+        if self.l1[core].access_if_hit(addr.raw(), kind.is_write()) {
+            self.stats.l1.accesses += 1;
+            self.stats.l1.hits += 1;
+            true
+        } else {
+            false
+        }
+    }
+
     /// Runs one access from `core` through the hierarchy.
     ///
     /// # Panics
@@ -422,6 +449,52 @@ mod tests {
     fn out_of_range_core_panics() {
         let mut h = tiny();
         h.access(7, PAddr::new(0), AccessKind::Read);
+    }
+
+    /// Interleaving `l1_access_fast` (replaying its misses through the full
+    /// path) with a reference hierarchy driven only by `access` must leave
+    /// byte-identical state and statistics.
+    #[test]
+    fn l1_fast_path_is_equivalent_to_full_access() {
+        let mut fast = tiny();
+        let mut reference = tiny();
+        let ops: [(usize, u64, AccessKind); 8] = [
+            (0, 0x1000, AccessKind::Read),
+            (0, 0x1000, AccessKind::Write), // L1 hit
+            (1, 0x1000, AccessKind::Read),  // other core: own L1 miss
+            (0, 0x1008, AccessKind::Read),  // L1 hit, same line
+            (0, 0x2000, AccessKind::Write),
+            (0, 0x2010, AccessKind::Read), // L1 hit
+            (1, 0x1030, AccessKind::Read), // L1 hit on core 1
+            (0, 0x1000, AccessKind::Read), // still an L1 hit
+        ];
+        for (core, addr, kind) in ops {
+            let a = PAddr::new(addr);
+            if !fast.l1_access_fast(core, a, kind) {
+                fast.access(core, a, kind);
+            }
+            reference.access(core, a, kind);
+        }
+        assert_eq!(fast.stats().l1.accesses, reference.stats().l1.accesses);
+        assert_eq!(fast.stats().l1.hits, reference.stats().l1.hits);
+        assert_eq!(fast.stats().l2.accesses, reference.stats().l2.accesses);
+        assert_eq!(fast.stats().llc.accesses, reference.stats().llc.accesses);
+        let (l1a, l2a, llca) = fast.level_stats();
+        let (l1b, l2b, llcb) = reference.level_stats();
+        assert_eq!(l1a, l1b);
+        assert_eq!(l2a, l2b);
+        assert_eq!(llca, llcb);
+    }
+
+    #[test]
+    fn l1_fast_path_miss_changes_nothing() {
+        let mut h = tiny();
+        h.access(0, PAddr::new(0x1000), AccessKind::Read);
+        let before = h.stats().clone();
+        assert!(!h.l1_access_fast(1, PAddr::new(0x1000), AccessKind::Read));
+        assert!(!h.l1_access_fast(0, PAddr::new(0x9000), AccessKind::Write));
+        assert_eq!(h.stats().l1.accesses, before.l1.accesses);
+        assert_eq!(h.stats().llc.accesses, before.llc.accesses);
     }
 
     #[test]

@@ -316,6 +316,34 @@ impl SetAssocCache {
         }
     }
 
+    /// Performs the access only if `addr`'s line is resident, mutating
+    /// exactly what the hit path of [`SetAssocCache::access`] would mutate
+    /// (clock advance, LRU stamp, dirty bit, hit/access counters) and
+    /// returning `true`. On a miss **nothing** changes — not even the LRU
+    /// clock or the access counter — so replaying the same op through
+    /// [`SetAssocCache::access`] later observes the state a plain call
+    /// would have, with identical stamps and statistics.
+    ///
+    /// This is the private-cache fast path of the epoch-batched machine
+    /// loop: a run-ahead core may consume L1 hits eagerly, but a miss must
+    /// wait for global ordering and be replayed in full.
+    #[inline]
+    pub fn access_if_hit(&mut self, addr: u64, write: bool) -> bool {
+        let (set, tag) = self.set_of(addr);
+        let start = (set * u64::from(self.cfg.assoc)) as usize;
+        let ways = &mut self.ways[start..start + self.cfg.assoc as usize];
+        for w in ways.iter_mut() {
+            if w.valid() && w.tag == tag {
+                self.clock += 1;
+                w.meta = (self.clock << 2) | (w.meta & 3) | (u64::from(write) << 1);
+                self.stats.accesses += 1;
+                self.stats.hits += 1;
+                return true;
+            }
+        }
+        false
+    }
+
     /// Non-allocating residency probe.
     pub fn probe(&self, addr: u64) -> bool {
         let (set, tag) = self.set_of(addr);
@@ -514,6 +542,54 @@ mod tests {
         // Both fit; neither evicted.
         assert!(c.probe(0) && c.probe(256));
         assert_eq!(c.stats().misses(), 2);
+    }
+
+    #[test]
+    fn access_if_hit_miss_mutates_nothing() {
+        let mut c = small();
+        c.access(0, false);
+        let stats_before = *c.stats();
+        assert!(!c.access_if_hit(256, false), "cold line cannot fast-hit");
+        assert_eq!(*c.stats(), stats_before, "miss path must not count");
+        assert!(!c.probe(256), "miss path must not allocate");
+        // The replayed full access behaves exactly like a first touch.
+        assert!(!c.access(256, false).hit);
+        assert!(c.probe(256));
+    }
+
+    /// Driving one cache through `access_if_hit`-then-replay and another
+    /// through plain `access` leaves byte-identical state: same stats, same
+    /// resident lines, same LRU victim choice afterwards.
+    #[test]
+    fn access_if_hit_is_equivalent_to_access_hit_path() {
+        let mut fast = small();
+        let mut reference = small();
+        // Mixed hits/misses within one set (stride 256 maps to set 0).
+        let ops: [(u64, bool); 9] = [
+            (0, false),
+            (0, true),
+            (256, false),
+            (0, false),
+            (256, true),
+            (512, false), // evicts; exercises post-divergence-risk state
+            (0, false),
+            (512, false),
+            (256, false),
+        ];
+        for (addr, write) in ops {
+            if !fast.access_if_hit(addr, write) {
+                fast.access(addr, write);
+            }
+            reference.access(addr, write);
+        }
+        assert_eq!(*fast.stats(), *reference.stats());
+        let mut a: Vec<u64> = fast.resident_lines().collect();
+        let mut b: Vec<u64> = reference.resident_lines().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        // Same next victim: LRU stamps must agree, not just residency.
+        assert_eq!(fast.access(768, false), reference.access(768, false));
     }
 
     #[test]

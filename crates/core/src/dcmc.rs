@@ -28,6 +28,9 @@ pub struct Dcmc {
     /// §3.7.3 FM-access budget.
     fm_budget: u64,
     last_budget_reset: Cycle,
+    /// Time of the most recent `on_tick` delivery, guarding the machine
+    /// loop's interval contract (see `on_tick`).
+    last_tick: Cycle,
     stats: SchemeStats,
     /// §3.8 extension: OS-hinted dead sectors (indexed by flat sector id).
     unused: Vec<bool>,
@@ -69,6 +72,7 @@ impl Dcmc {
             fifo_ptr: 0,
             fm_budget: 0,
             last_budget_reset: Cycle::ZERO,
+            last_tick: Cycle::ZERO,
             stats: SchemeStats::default(),
             unused: vec![false; layout.flat_sectors as usize],
             unused_live: 0,
@@ -585,6 +589,18 @@ impl MemoryScheme for Dcmc {
     }
 
     fn on_tick(&mut self, now: Cycle, _dram: &mut DramSystem) {
+        // Machine-loop contract, relied on by the §3.7.3 budget interval
+        // (and by any future tick-driven migration state): the event loop —
+        // per-op reference and epoch-batched alike — delivers ticks in
+        // nondecreasing time order, interleaved with `access` calls exactly
+        // as the per-op reference schedule would. A run-ahead core must
+        // never fire a tick early.
+        debug_assert!(
+            now >= self.last_tick,
+            "on_tick went backwards: {now:?} after {:?}",
+            self.last_tick
+        );
+        self.last_tick = now;
         self.maybe_reset_budget(now);
     }
 

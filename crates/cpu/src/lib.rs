@@ -172,6 +172,12 @@ impl Core {
 
     /// Retires `n` instructions at full width, then applies ROB-reach
     /// stalls for outstanding misses that retirement has caught up with.
+    ///
+    /// Inlined with an empty-window fast return: the epoch-batched machine
+    /// loop calls this once per run-ahead L1 hit, and during those bursts
+    /// the miss window is usually empty — `settle_window`'s deque-front
+    /// probing is pure overhead there.
+    #[inline]
     pub fn advance_instructions(&mut self, n: u64) {
         if n > 0 {
             self.stats.instructions += n;
@@ -180,6 +186,9 @@ impl Core {
                 Some(s) => (n + width - 1) >> s,
                 None => n.div_ceil(width),
             };
+        }
+        if self.outstanding.is_empty() {
+            return; // nothing to retire or stall on: settle is a no-op
         }
         self.settle_window();
     }

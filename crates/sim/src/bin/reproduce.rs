@@ -13,6 +13,10 @@
 //!   --smoke           run the 3-benchmark smoke set instead of all 30
 //!   --seed <n>        RNG seed                            [default: 2020]
 //!   --threads <n>     worker threads                      [default: #cpus]
+//!   --batch <n>       ops-per-pick cap of the epoch-batched machine loop;
+//!                     1 = per-op reference scheduling. Results are
+//!                     byte-identical for every value (CI `cmp`s batched
+//!                     vs `--batch 1` output)          [default: 4096]
 //!   --shard <K/N>     run only slice K of an N-way split of the grid and
 //!                     emit the machine-readable shard cells instead of the
 //!                     rendered reports (evalsuite / scenario grids only)
@@ -23,7 +27,8 @@
 //!   scenario <name|all>   run one named scenario or the whole catalog
 //!   --ratio <1gb|2gb|4gb> NM:FM ratio                     [default: 1gb]
 //!   --list                list the scenario catalog and exit
-//!   (--scale/--instrs/--seed/--threads/--shard/--out apply as above)
+//!   (--scale/--instrs/--seed/--threads/--batch/--shard/--out apply as
+//!   above)
 //!
 //! merge subcommand (reassemble a sharded run):
 //!   merge <file>...   merge shard files back into the full grid and print
@@ -44,10 +49,10 @@ use sim::{scenario, EvalConfig, GridId, NmRatio};
 /// One-screen usage summary printed alongside every usage error.
 const USAGE: &str = "\
 usage: reproduce [--exp <id>] [--scale N] [--instrs N] [--seed N] [--threads N]
-                 [--smoke] [--shard K/N] [--out FILE] [--list]
+                 [--batch N] [--smoke] [--shard K/N] [--out FILE] [--list]
        reproduce scenario <name|all> [--ratio 1gb|2gb|4gb] [--scale N]
-                 [--instrs N] [--seed N] [--threads N] [--shard K/N]
-                 [--out FILE] [--list]
+                 [--instrs N] [--seed N] [--threads N] [--batch N]
+                 [--shard K/N] [--out FILE] [--list]
        reproduce merge <file>... [--out FILE]
 
 run `reproduce --list` for experiment ids, `reproduce scenario --list`
@@ -90,8 +95,8 @@ fn flag_value<T: std::str::FromStr>(args: &[String], i: usize, name: &str) -> Re
 }
 
 /// Consumes one of the sizing flags shared by every run subcommand
-/// (`--scale/--instrs/--seed/--threads`) at `args[i]`, returning the next
-/// index, or `None` if `args[i]` is some other argument.
+/// (`--scale/--instrs/--seed/--threads/--batch`) at `args[i]`, returning
+/// the next index, or `None` if `args[i]` is some other argument.
 fn parse_sizing_flag(
     cfg: &mut EvalConfig,
     args: &[String],
@@ -102,6 +107,12 @@ fn parse_sizing_flag(
         "--instrs" => cfg.instrs_per_core = flag_value(args, i, "--instrs")?,
         "--seed" => cfg.seed = flag_value(args, i, "--seed")?,
         "--threads" => cfg.threads = flag_value(args, i, "--threads")?,
+        "--batch" => {
+            cfg.batch = flag_value(args, i, "--batch")?;
+            if cfg.batch == 0 {
+                return Err("--batch must be at least 1 (1 = per-op reference scheduling)".into());
+            }
+        }
         _ => return Ok(None),
     }
     Ok(Some(i + 2))
@@ -565,6 +576,30 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn batch_flag_parses_and_validates() {
+        match parse(&["--batch", "64"]).unwrap() {
+            Command::Eval { cfg, .. } => assert_eq!(cfg.batch, 64),
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&["scenario", "all", "--batch", "1"]).unwrap() {
+            Command::Scenario { cfg, .. } => assert_eq!(cfg.batch, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Default when the flag is absent.
+        match parse(&[]).unwrap() {
+            Command::Eval { cfg, .. } => assert_eq!(cfg.batch, sim::DEFAULT_BATCH),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Bad values are usage errors (exit 2), never panics.
+        assert!(parse(&["--batch"]).unwrap_err().contains("--batch"));
+        assert!(parse(&["--batch", "many"]).unwrap_err().contains("--batch"));
+        assert!(parse(&["--batch", "0"]).unwrap_err().contains("at least 1"));
+        assert!(parse(&["scenario", "all", "--batch", "0"])
+            .unwrap_err()
+            .contains("at least 1"));
     }
 
     #[test]

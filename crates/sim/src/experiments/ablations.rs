@@ -50,7 +50,7 @@ fn run_custom_hinted(
     if os_hints {
         machine = machine.with_os_hints();
     }
-    machine.run(cfg.instrs_per_core)
+    machine.run_batched(cfg.instrs_per_core, cfg.batch)
 }
 
 fn base_config(cfg: &EvalConfig) -> Hybrid2Config {
@@ -182,6 +182,7 @@ mod tests {
             instrs_per_core: 15_000,
             seed: 41,
             threads: 2,
+            ..EvalConfig::smoke()
         };
         let reports = ablation_budget_period(&cfg, true);
         assert_eq!(reports[0].rows.len(), 3);
@@ -194,6 +195,7 @@ mod tests {
             instrs_per_core: 50_000,
             seed: 47,
             threads: 2,
+            ..EvalConfig::smoke()
         };
         let spec = workloads::catalog::by_name("lbm").unwrap();
         let h2 = base_config(&cfg);
@@ -214,6 +216,7 @@ mod tests {
             instrs_per_core: 15_000,
             seed: 43,
             threads: 2,
+            ..EvalConfig::smoke()
         };
         let reports = ablation_stack_window(&cfg, true);
         let rows = &reports[0].rows;

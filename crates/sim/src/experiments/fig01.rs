@@ -55,6 +55,7 @@ mod tests {
             instrs_per_core: 12_000,
             seed: 11,
             threads: 2,
+            ..EvalConfig::smoke()
         };
         let reports = fig01_wasted_data(&cfg, true);
         let rows = &reports[0].rows;

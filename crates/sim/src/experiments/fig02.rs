@@ -63,6 +63,7 @@ mod tests {
             instrs_per_core: 12_000,
             seed: 13,
             threads: 4,
+            ..EvalConfig::smoke()
         };
         let reports = fig02_motivation(&cfg, true);
         let rows = &reports[0].rows;

@@ -60,6 +60,7 @@ mod tests {
             instrs_per_core: 20_000,
             seed: 17,
             threads: 4,
+            ..EvalConfig::smoke()
         };
         let specs = [catalog::by_name("lbm").unwrap()];
         let m = Matrix::run(

@@ -46,6 +46,7 @@ mod tests {
             instrs_per_core: 25_000,
             seed: 23,
             threads: 4,
+            ..EvalConfig::smoke()
         };
         let specs = [catalog::by_name("omnetpp").unwrap()];
         let m = Matrix::run(

@@ -50,6 +50,7 @@ mod tests {
             instrs_per_core: 25_000,
             seed: 29,
             threads: 4,
+            ..EvalConfig::smoke()
         };
         // A capacity-pressured streaming workload where migration matters.
         let specs = [catalog::by_name("lbm").unwrap()];

@@ -109,6 +109,7 @@ mod tests {
             instrs_per_core: 25_000,
             seed: 31,
             threads: 4,
+            ..EvalConfig::smoke()
         };
         let specs = [catalog::by_name("lbm").unwrap()];
         let m = Matrix::run(

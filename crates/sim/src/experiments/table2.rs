@@ -69,6 +69,7 @@ mod tests {
             instrs_per_core: 40_000,
             seed: 37,
             threads: 2,
+            ..EvalConfig::smoke()
         };
         let reports = table2_characterization(&cfg, true);
         let rows = &reports[0].rows;

@@ -49,7 +49,7 @@ pub mod scenario;
 pub mod shard;
 
 pub use any_scheme::AnyScheme;
-pub use machine::{Machine, RunResult};
+pub use machine::{Machine, RunResult, DEFAULT_BATCH};
 pub use matrix::{ClassSummary, Matrix};
 pub use page_alloc::PageAllocator;
 pub use runner::{build_scheme, run_one, scheme_label, EvalConfig, SchemeKind};

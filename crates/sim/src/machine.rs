@@ -3,11 +3,20 @@
 use cpu::{Core, CoreConfig};
 use dram::{DramSystem, SchemeStats};
 use mem_cache::Hierarchy;
-use sim_types::{Cycle, MemReq, MemSide, TraceSource, TrafficClass};
+use sim_types::{Cycle, MemReq, MemSide, TraceOp, TraceSource, TrafficClass};
 use workloads::Workload;
 
 use crate::any_scheme::AnyScheme;
 use crate::page_alloc::PageAllocator;
+
+/// Default ops-per-pick cap of the epoch-batched [`Machine::run`] loop.
+///
+/// The cap is a serviceability knob, not a semantic one: any batch size
+/// produces byte-identical results (`--batch 1` degenerates to the per-op
+/// reference schedule), and run-ahead epochs end early at the first shared
+/// interaction anyway, so a generous cap simply lets long private-hit
+/// bursts amortize the scheduler re-pick.
+pub const DEFAULT_BATCH: usize = 4096;
 
 /// Everything measured by one simulation run.
 #[derive(Clone, Debug)]
@@ -106,8 +115,246 @@ impl Machine {
     }
 
     /// Runs until every core has retired `instrs_per_core` instructions,
-    /// then drains outstanding misses and reports.
+    /// then drains outstanding misses and reports. Equivalent to
+    /// [`Machine::run_batched`] at [`DEFAULT_BATCH`]; results are
+    /// byte-identical to [`Machine::run_reference`] for every batch size.
     pub fn run(&mut self, instrs_per_core: u64) -> RunResult {
+        self.run_batched(instrs_per_core, DEFAULT_BATCH)
+    }
+
+    /// The epoch-batched event loop.
+    ///
+    /// The per-op reference schedule ([`Machine::run_reference`]) re-picks
+    /// the globally earliest core (packed `now << bits | index` key,
+    /// deterministic index tie-break) before *every* memory op. This loop
+    /// picks once per *epoch*: the chosen core first executes ops under
+    /// full reference semantics while it remains globally earliest (its
+    /// packed key no larger than the frozen second-smallest key — other
+    /// cores' keys cannot change while it runs), then *runs ahead* through
+    /// ops that are provably core-local: an already-mapped page (reads of
+    /// the page table commute with other cores' first touches) whose line
+    /// hits the private L1 (no L2/LLC/scheme/DRAM interaction). The epoch
+    /// ends at the first op that would touch a shared structure — a
+    /// first-touch allocation, anything reaching L2 or beyond — which is
+    /// stashed and replayed once the core is globally earliest again, or
+    /// after `batch` ops.
+    ///
+    /// Shared interactions therefore execute in exactly the reference
+    /// order: a core arrives at its next shared op with the same clock the
+    /// reference would show (run-ahead ops advance nothing but its own
+    /// state), and the pick compares the same packed keys. Interval ticks
+    /// fire only while a core is globally earliest, plus a trailing
+    /// catch-up to the highest clock any executed op observed — the same
+    /// `on_tick` sequence, in the same position relative to every shared
+    /// access, as the reference (L1 hits commute with ticks: neither reads
+    /// the other's state). All of this is pinned by the differential tests
+    /// in `tests/batched_differential.rs` at float-bit granularity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    pub fn run_batched(&mut self, instrs_per_core: u64, batch: usize) -> RunResult {
+        assert!(batch > 0, "batch must be at least 1 (1 = per-op reference)");
+        let shared_space = self.workload.shared_address_space();
+        let ncores = self.cores.len();
+        let idx_bits = ncores.next_power_of_two().trailing_zeros().max(1);
+        let pack = |now: u64, i: usize| -> u64 {
+            assert!(
+                now >> (64 - idx_bits) == 0,
+                "simulated time overflows the packed scheduler key"
+            );
+            (now << idx_bits) | i as u64
+        };
+        let mut keys: Vec<u64> = self
+            .cores
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                if c.retired() < instrs_per_core {
+                    pack(c.now().raw(), i)
+                } else {
+                    u64::MAX
+                }
+            })
+            .collect();
+        // Per-core op decoded during run-ahead but found to need a shared
+        // structure: it executes when the core is next globally earliest.
+        let mut pending: Vec<Option<TraceOp>> = vec![None; ncores];
+        // Highest clock-before-op any executed op (or trace-exhaustion
+        // check) observed — the reference fires ticks up to exactly this
+        // horizon, so the trailing catch-up below uses it.
+        let mut tick_horizon: u64 = 0;
+        {
+            let Machine {
+                cores,
+                hierarchy,
+                scheme,
+                dram,
+                pages,
+                workload,
+                next_tick,
+                os_hints,
+            } = &mut *self;
+            let os_hints = *os_hints;
+
+            'epoch: loop {
+                // One min-reduction per epoch: the earliest key wins the
+                // pick; the runner-up is the global-ordering horizon the
+                // winner must not cross with shared work. `other` stays
+                // valid for the whole epoch because only keys[i] can move.
+                let mut best = u64::MAX;
+                let mut other = u64::MAX;
+                for &k in &keys {
+                    if k < best {
+                        other = best;
+                        best = k;
+                    } else if k < other {
+                        other = k;
+                    }
+                }
+                if best == u64::MAX {
+                    break;
+                }
+                let i = (best & ((1 << idx_bits) - 1)) as usize;
+                let mut left = batch;
+
+                // Phase 1 — globally earliest: full reference semantics
+                // (interval ticks, first touches, hierarchy, scheme, DRAM).
+                loop {
+                    let now = cores[i].now().raw();
+                    if pack(now, i) > other {
+                        break; // lost the lead: only local work may follow
+                    }
+                    tick_horizon = tick_horizon.max(now);
+                    while now >= *next_tick {
+                        let t = Cycle::new(*next_tick);
+                        scheme.on_tick(t, dram);
+                        *next_tick += scheme.tick_period().unwrap_or(u64::MAX);
+                    }
+
+                    let op = match pending[i].take() {
+                        Some(op) => op,
+                        None => match workload.source_mut(i).next_op() {
+                            Some(op) => op,
+                            None => {
+                                // Trace exhausted (generators are unbounded,
+                                // but a VecTrace in tests may end).
+                                let remaining = instrs_per_core - cores[i].retired();
+                                cores[i].advance_instructions(remaining);
+                                keys[i] = u64::MAX;
+                                continue 'epoch;
+                            }
+                        },
+                    };
+                    cores[i].advance_instructions(op.instructions());
+
+                    let space = if shared_space { 0 } else { i as u8 };
+                    let (paddr, fresh_page) = pages.translate_tracking(space, op.addr);
+                    if os_hints && fresh_page {
+                        let page_base = sim_types::PAddr::new(paddr.raw() & !4095);
+                        scheme.os_hint_used(page_base, 4096);
+                    }
+                    let out = hierarchy.access(i, paddr, op.kind);
+
+                    if let Some(wb) = out.writeback {
+                        // Dirty LLC victim: buffered write to memory.
+                        let req = MemReq::write(wb, 64, cores[i].now()).on_core(i as u8);
+                        scheme.access(&req, dram);
+                    }
+                    if let Some(miss) = out.llc_miss {
+                        let at = cores[i].now() + out.latency;
+                        let req = MemReq {
+                            addr: miss,
+                            kind: op.kind,
+                            bytes: 64,
+                            at,
+                            core: i as u8,
+                        };
+                        let served = scheme.access(&req, dram);
+                        if op.kind.is_write() {
+                            cores[i].note_store();
+                        } else {
+                            cores[i].issue_llc_miss_load(served.done);
+                        }
+                    }
+
+                    if cores[i].retired() >= instrs_per_core {
+                        keys[i] = u64::MAX;
+                        continue 'epoch;
+                    }
+                    left -= 1;
+                    if left == 0 {
+                        keys[i] = pack(cores[i].now().raw(), i);
+                        continue 'epoch;
+                    }
+                }
+
+                // Phase 2 — run-ahead: past the horizon, so only provably
+                // core-local ops may execute (mapped page + private L1
+                // hit). No tick housekeeping here: a run-ahead core firing
+                // a tick would reorder it against other cores' pending
+                // shared ops; L1 hits commute with ticks, so deferring
+                // them to the next phase-1 pick is exact.
+                debug_assert!(pending[i].is_none(), "pending op survived phase 1");
+                loop {
+                    let now = cores[i].now().raw();
+                    let Some(op) = workload.source_mut(i).next_op() else {
+                        tick_horizon = tick_horizon.max(now);
+                        let remaining = instrs_per_core - cores[i].retired();
+                        cores[i].advance_instructions(remaining);
+                        keys[i] = u64::MAX;
+                        continue 'epoch;
+                    };
+                    let space = if shared_space { 0 } else { i as u8 };
+                    let local = pages
+                        .lookup(space, op.addr)
+                        .is_some_and(|paddr| hierarchy.l1_access_fast(i, paddr, op.kind));
+                    if !local {
+                        // Would touch a shared structure: stash it for the
+                        // next pick. The key stays the clock *before* the
+                        // op — its arrival key in the reference schedule.
+                        pending[i] = Some(op);
+                        keys[i] = pack(now, i);
+                        continue 'epoch;
+                    }
+                    tick_horizon = tick_horizon.max(now);
+                    cores[i].advance_instructions(op.instructions());
+                    if cores[i].retired() >= instrs_per_core {
+                        keys[i] = u64::MAX;
+                        continue 'epoch;
+                    }
+                    left -= 1;
+                    if left == 0 {
+                        keys[i] = pack(cores[i].now().raw(), i);
+                        continue 'epoch;
+                    }
+                }
+            }
+
+            // Trailing tick catch-up: the reference runs tick housekeeping
+            // at every per-op pick, so it fires every tick up to the
+            // highest clock-before-op seen; run-ahead skipped some of
+            // those picks. All shared accesses are done, and every
+            // remaining tick is later than each of them was, so firing
+            // the stragglers here preserves the reference interleaving.
+            while tick_horizon >= *next_tick {
+                let t = Cycle::new(*next_tick);
+                scheme.on_tick(t, dram);
+                *next_tick += scheme.tick_period().unwrap_or(u64::MAX);
+            }
+        }
+        for c in &mut self.cores {
+            c.drain();
+        }
+        self.scheme.on_finish();
+        self.result()
+    }
+
+    /// The per-op reference event loop — PR 2's hot path, kept verbatim as
+    /// the semantic oracle for [`Machine::run_batched`]. Every op re-picks
+    /// the earliest unfinished core; `tests/batched_differential.rs` holds
+    /// the batched loop to this, field by field, at float-bit granularity.
+    pub fn run_reference(&mut self, instrs_per_core: u64) -> RunResult {
         // Earliest unfinished core first (deterministic tie-break by
         // index) — this keeps DRAM arrival order causal. Core clocks are
         // mirrored into a compact array of `now << shift | index` keys
@@ -227,6 +474,13 @@ impl Machine {
         }
     }
 
+    /// Digest of the full first-touch page mapping (see
+    /// [`PageAllocator::table_digest`]): equal digests across batch sizes
+    /// certify that epoch batching preserved allocation order exactly.
+    pub fn page_table_digest(&self) -> u64 {
+        self.pages.table_digest()
+    }
+
     /// NM traffic attributable to metadata, for the §5.2.1 claim (4.1% of
     /// NM traffic).
     pub fn nm_metadata_fraction(&self) -> f64 {
@@ -286,6 +540,42 @@ mod tests {
         let r1 = machine(1).run(10_000);
         let r2 = machine(2).run(10_000);
         assert_ne!(r1.cycles, r2.cycles);
+    }
+
+    #[test]
+    fn batch_one_equals_reference_loop() {
+        let r1 = machine(5).run_reference(10_000);
+        let r2 = machine(5).run_batched(10_000, 1);
+        assert_eq!(r1.cycles, r2.cycles);
+        assert_eq!(r1.instructions, r2.instructions);
+        assert_eq!(r1.mem_ops, r2.mem_ops);
+        assert_eq!(r1.fm_traffic, r2.fm_traffic);
+        assert_eq!(r1.mpki.to_bits(), r2.mpki.to_bits());
+        assert_eq!(r1.energy_mj.to_bits(), r2.energy_mj.to_bits());
+    }
+
+    #[test]
+    fn batched_default_matches_reference() {
+        let r1 = machine(9).run_reference(15_000);
+        let mut m2 = machine(9);
+        let r2 = m2.run_batched(15_000, DEFAULT_BATCH);
+        let mut m3 = machine(9);
+        let r3 = m3.run_batched(15_000, 3);
+        for r in [&r2, &r3] {
+            assert_eq!(r1.cycles, r.cycles);
+            assert_eq!(r1.instructions, r.instructions);
+            assert_eq!(r1.mem_ops, r.mem_ops);
+            assert_eq!(r1.fm_traffic, r.fm_traffic);
+            assert_eq!(r1.footprint, r.footprint);
+        }
+        // First-touch allocation order preserved exactly, not just counts.
+        assert_eq!(m2.page_table_digest(), m3.page_table_digest());
+    }
+
+    #[test]
+    #[should_panic(expected = "batch must be at least 1")]
+    fn zero_batch_rejected() {
+        machine(1).run_batched(1_000, 0);
     }
 
     #[test]

@@ -401,6 +401,7 @@ mod tests {
             instrs_per_core: 15_000,
             seed: 3,
             threads: 4,
+            ..EvalConfig::smoke()
         };
         let specs = [
             catalog::by_name("lbm").unwrap(),
@@ -459,6 +460,7 @@ mod tests {
             instrs_per_core: 8_000,
             seed: 5,
             threads: 3,
+            ..EvalConfig::smoke()
         };
         let specs = [catalog::by_name("mcf").unwrap()];
         let a = Matrix::run(&[SchemeKind::Lgm], &specs, NmRatio::OneGb, &cfg);

@@ -183,6 +183,50 @@ impl PageAllocator {
         (PAddr::new(ppage * PAGE + offset), fresh)
     }
 
+    /// Read-only translation: `Some(paddr)` iff `(space, vaddr)`'s page is
+    /// already mapped; never allocates. The epoch-batched machine loop uses
+    /// this to let a run-ahead core translate through existing mappings
+    /// (reads of the table commute with other cores' insertions) while
+    /// first touches — which consume the shared RNG stream and must keep
+    /// their global order — wait until the core is globally earliest.
+    #[inline]
+    pub fn lookup(&self, space: u8, vaddr: VAddr) -> Option<PAddr> {
+        let vpage = vaddr.raw() / PAGE;
+        let offset = vaddr.raw() % PAGE;
+        let key = FrameTable::pack(space, vpage);
+        self.map
+            .probe(key)
+            .ok()
+            .map(|ppage| PAddr::new(ppage * PAGE + offset))
+    }
+
+    /// Order-independent digest (FNV-1a over the sorted entries) of the
+    /// complete `(space, vpage) → frame` mapping. Frames are drawn from one
+    /// shared RNG stream, so any change in first-touch order permutes the
+    /// mapping and changes this digest — it is the observable form of the
+    /// allocation-order invariant the batched machine loop must preserve.
+    pub fn table_digest(&self) -> u64 {
+        let mut entries: Vec<(u64, u64)> = self
+            .map
+            .keys
+            .iter()
+            .zip(&self.map.frames)
+            .filter(|(&k, _)| k != EMPTY)
+            .map(|(&k, &f)| (k, f))
+            .collect();
+        entries.sort_unstable();
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for (k, f) in entries {
+            for word in [k, f] {
+                for byte in word.to_le_bytes() {
+                    h ^= u64::from(byte);
+                    h = h.wrapping_mul(0x0000_0100_0000_01B3);
+                }
+            }
+        }
+        h
+    }
+
     /// Pages allocated so far.
     pub fn allocated_pages(&self) -> u64 {
         self.map.len as u64
@@ -316,6 +360,37 @@ mod tests {
             let expect = reference();
             assert_eq!(a.translate(2, VAddr::new(v * PAGE)).raw() / PAGE, expect);
         }
+    }
+
+    #[test]
+    fn lookup_never_allocates_and_agrees_with_translate() {
+        let mut a = PageAllocator::new(1 << 20, 1);
+        assert_eq!(a.lookup(0, VAddr::new(0x1234)), None);
+        assert_eq!(a.allocated_pages(), 0, "lookup must not allocate");
+        let p = a.translate(0, VAddr::new(0x1234));
+        assert_eq!(a.lookup(0, VAddr::new(0x1234)), Some(p));
+        // Same page, different offset: lookup carries the offset through.
+        let q = a.lookup(0, VAddr::new(0x1fff)).unwrap();
+        assert_eq!(q.raw() / PAGE, p.raw() / PAGE);
+        assert_eq!(q.raw() % PAGE, 0xfff);
+        assert_eq!(a.lookup(1, VAddr::new(0x1234)), None, "spaces isolated");
+    }
+
+    #[test]
+    fn table_digest_tracks_allocation_order() {
+        let order_a = [0u64, 1, 2, 3];
+        let order_b = [3u64, 2, 1, 0];
+        let digest_of = |order: &[u64]| {
+            let mut a = PageAllocator::new(1 << 20, 5);
+            for &v in order {
+                a.translate(0, VAddr::new(v * PAGE));
+            }
+            a.table_digest()
+        };
+        // Same touch order → same digest; permuted first touches hand the
+        // RNG-drawn frames to different pages → different digest.
+        assert_eq!(digest_of(&order_a), digest_of(&order_a));
+        assert_ne!(digest_of(&order_a), digest_of(&order_b));
     }
 
     /// Keys that collide into the same slot chain stay distinguishable.

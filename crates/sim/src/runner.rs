@@ -11,7 +11,7 @@ use sim_types::Geometry;
 use workloads::{Workload, WorkloadSpec};
 
 use crate::any_scheme::AnyScheme;
-use crate::machine::{Machine, RunResult};
+use crate::machine::{Machine, RunResult, DEFAULT_BATCH};
 use crate::scale::{NmRatio, ScaledSystem};
 
 /// Which memory-management scheme to simulate.
@@ -72,6 +72,11 @@ pub struct EvalConfig {
     pub seed: u64,
     /// Worker threads for matrix runs.
     pub threads: usize,
+    /// Ops-per-pick cap of the epoch-batched machine loop (`--batch`);
+    /// 1 degenerates to the per-op reference schedule. Any value yields
+    /// byte-identical results — this is a scheduling knob, never a
+    /// semantic one. Default [`DEFAULT_BATCH`].
+    pub batch: usize,
 }
 
 impl EvalConfig {
@@ -87,6 +92,7 @@ impl EvalConfig {
             threads: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(4),
+            batch: DEFAULT_BATCH,
         }
     }
 
@@ -98,6 +104,7 @@ impl EvalConfig {
             instrs_per_core: 1_000_000,
             seed: 7,
             threads: 4,
+            batch: DEFAULT_BATCH,
         }
     }
 }
@@ -237,7 +244,7 @@ pub fn run_one(
         workload,
         cfg.seed,
     );
-    machine.run(cfg.instrs_per_core)
+    machine.run_batched(cfg.instrs_per_core, cfg.batch)
 }
 
 #[cfg(test)]

@@ -134,6 +134,7 @@ mod tests {
             instrs_per_core: 10_000,
             seed: 9,
             threads: 4,
+            ..EvalConfig::smoke()
         }
     }
 

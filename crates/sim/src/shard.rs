@@ -848,6 +848,7 @@ mod tests {
             instrs_per_core: 1,
             seed: 11,
             threads: 1,
+            ..EvalConfig::smoke()
         };
         let (kinds, specs) = resolve(&grid).unwrap();
         let files = (1..=count)

@@ -49,6 +49,7 @@ fn main() {
         instrs_per_core: 1_000_000,
         seed: 11,
         threads: 1,
+        ..EvalConfig::smoke()
     };
     let spec = catalog::by_name("cg.D").expect("cg.D is in the catalog");
     println!();

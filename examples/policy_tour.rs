@@ -33,6 +33,7 @@ fn main() {
         instrs_per_core: 1_000_000,
         seed: 99,
         threads: 1,
+        ..EvalConfig::smoke()
     };
     println!(
         "{} ({}, {} MPKI class) at NM = {}",

@@ -15,6 +15,7 @@ fn main() {
         instrs_per_core: 1_000_000,
         seed: 42,
         threads: 1,
+        ..EvalConfig::smoke()
     };
 
     // lbm: the high-MPKI streaming stencil from Table 2.

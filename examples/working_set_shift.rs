@@ -21,6 +21,7 @@ fn main() {
         instrs_per_core: 1_500_000,
         seed: 3,
         threads: 1,
+        ..EvalConfig::smoke()
     };
     let spec = catalog::by_name("gcc").expect("gcc is in the catalog");
     println!(

@@ -62,7 +62,7 @@ pub use dram::{DramSystem, MemoryScheme, SchemeStats, Served};
 pub use hybrid2_core::{ConfigError, Dcmc, Hybrid2Config, Variant};
 pub use sim::{
     AnyScheme, EvalConfig, GridId, Machine, Matrix, Merged, NmRatio, RunResult, ScaledSystem,
-    SchemeKind, ShardSpec,
+    SchemeKind, ShardSpec, DEFAULT_BATCH,
 };
 
 /// The most common imports in one place.

@@ -27,6 +27,7 @@ fn golden_cfg() -> EvalConfig {
         instrs_per_core: 200_000,
         seed: GOLDEN_SEED,
         threads: 1,
+        ..EvalConfig::smoke()
     }
 }
 

@@ -9,6 +9,7 @@ fn tiny() -> EvalConfig {
         instrs_per_core: 60_000,
         seed: 1234,
         threads: 2,
+        ..EvalConfig::smoke()
     }
 }
 
@@ -108,6 +109,7 @@ fn mpki_classes_separate_in_measurement() {
         instrs_per_core: 120_000,
         seed: 5,
         threads: 2,
+        ..EvalConfig::smoke()
     };
     let high = run_one(
         SchemeKind::Baseline,

@@ -15,6 +15,7 @@ fn tiny() -> EvalConfig {
         instrs_per_core: 40_000,
         seed: 2,
         threads: 4,
+        ..EvalConfig::smoke()
     }
 }
 

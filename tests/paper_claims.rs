@@ -18,6 +18,7 @@ fn cfg() -> EvalConfig {
         instrs_per_core: 150_000,
         seed: 77,
         threads: 2,
+        ..EvalConfig::smoke()
     }
 }
 

@@ -1,0 +1,112 @@
+//! Order-of-magnitude performance floor (CI `perf-smoke` job).
+//!
+//! Runs one pinned tiny configuration and compares simulator throughput
+//! (mem-ops/sec) against the committed floor in `BENCH_floor.json`. The
+//! floor is deliberately set far below any healthy machine (about a fifth
+//! of the 1-vCPU dev box's rate) and the comparison adds a further 2×
+//! noise margin, so this gate only trips on *order-of-magnitude*
+//! regressions — an accidental debug-path, a quadratic structure on the
+//! per-op path — never on runner-to-runner hardware variance. Trend-level
+//! tracking stays in the non-blocking bench artifacts; byte-identity is
+//! the separate `batched-verify` gate.
+//!
+//! Tier-2: `#[ignore]`d so the wall-clock-sensitive measurement never
+//! runs in the tier-1 suite. The floor only *gates* when `PERF_SMOKE=1`
+//! is set — the dedicated CI perf-smoke job sets it; the full-sim
+//! `--ignored` sweep (and local runs) measure and print without gating,
+//! so one controlled job owns the blocking wall-clock check. Debug
+//! builds never gate (debug throughput is not what the floor describes).
+//!
+//! Set `PERF_SMOKE_JSON=<path>` to append the full capture as one JSON
+//! line (uploaded as a non-blocking CI artifact).
+
+use std::time::Instant;
+
+use hybrid2::prelude::*;
+
+/// The pinned measurement configuration. Changing it requires recapturing
+/// `BENCH_floor.json` in the same PR.
+fn pinned_cfg() -> EvalConfig {
+    EvalConfig {
+        scale_den: 1024,
+        instrs_per_core: 200_000,
+        seed: 2020,
+        threads: 1,
+        ..EvalConfig::smoke()
+    }
+}
+
+/// Extracts a numeric field from the (flat, hand-written) floor file
+/// without a JSON dependency.
+fn json_number(text: &str, key: &str) -> f64 {
+    let needle = format!("\"{key}\"");
+    let at = text
+        .find(&needle)
+        .unwrap_or_else(|| panic!("{key} missing"));
+    let rest = &text[at + needle.len()..];
+    let rest = rest.trim_start().strip_prefix(':').expect("key colon");
+    let end = rest.find([',', '\n', '}']).expect("value terminator");
+    rest[..end]
+        .trim()
+        .parse()
+        .unwrap_or_else(|e| panic!("{key} not a number: {e}"))
+}
+
+#[test]
+#[ignore = "wall-clock perf floor; CI perf-smoke runs it in release"]
+fn mem_ops_per_sec_above_committed_floor() {
+    let floor_text =
+        std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_floor.json"))
+            .expect("BENCH_floor.json is committed at the repo root");
+    let floor = json_number(&floor_text, "floor_mem_ops_per_sec");
+    let margin = json_number(&floor_text, "noise_margin");
+    assert!(floor > 0.0 && margin >= 1.0, "floor file is sane");
+
+    let cfg = pinned_cfg();
+    let spec = catalog::by_name("lbm").unwrap();
+    // Best of three: robust to one scheduling hiccup, cheap enough that
+    // the job stays in seconds.
+    let mut best_ops_per_sec = 0.0f64;
+    let mut mem_ops = 0;
+    for _ in 0..3 {
+        let started = Instant::now();
+        let r = run_one(SchemeKind::Hybrid2, spec, NmRatio::OneGb, &cfg);
+        let secs = started.elapsed().as_secs_f64();
+        mem_ops = r.mem_ops;
+        best_ops_per_sec = best_ops_per_sec.max(r.mem_ops as f64 / secs);
+    }
+    println!(
+        "perf-smoke: {best_ops_per_sec:.0} mem-ops/sec over {mem_ops} ops \
+         (floor {floor:.0}, margin {margin}x)"
+    );
+
+    if let Ok(path) = std::env::var("PERF_SMOKE_JSON") {
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .expect("capture file opens");
+        writeln!(
+            f,
+            "{{\"bench\":\"perf_smoke\",\"mem_ops\":{mem_ops},\
+             \"best_mem_ops_per_sec\":{best_ops_per_sec:.1},\
+             \"floor_mem_ops_per_sec\":{floor:.1},\"noise_margin\":{margin}}}"
+        )
+        .expect("capture write");
+    }
+
+    if cfg!(debug_assertions) || std::env::var("PERF_SMOKE").as_deref() != Ok("1") {
+        eprintln!(
+            "perf-smoke: measured but not gated (set PERF_SMOKE=1 in a release build to gate)"
+        );
+        return;
+    }
+    assert!(
+        best_ops_per_sec * margin >= floor,
+        "order-of-magnitude throughput regression: {best_ops_per_sec:.0} \
+         mem-ops/sec * margin {margin} is below the committed floor \
+         {floor:.0} (see BENCH_floor.json; if the slowdown is intentional, \
+         recapture the floor in this PR and justify it)"
+    );
+}

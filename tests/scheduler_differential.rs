@@ -60,6 +60,7 @@ fn work_stealing_matches_sequential_reference() {
         instrs_per_core: 20_000,
         seed: 31,
         threads: 4,
+        ..EvalConfig::smoke()
     };
     let specs = [
         catalog::by_name("lbm").unwrap(),
@@ -79,6 +80,7 @@ fn work_stealing_deterministic_across_thread_counts() {
         instrs_per_core: 15_000,
         seed: 8,
         threads: 1,
+        ..EvalConfig::smoke()
     };
     let specs = [
         catalog::by_name("mcf").unwrap(),

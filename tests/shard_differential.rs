@@ -65,6 +65,7 @@ fn merge_of_shards_equals_monolithic_run_bit_for_bit() {
         instrs_per_core: 12_000,
         seed: 17,
         threads: 2,
+        ..EvalConfig::smoke()
     };
     let selector = "stream-chase";
     let ratio = NmRatio::TwoGb;
@@ -115,6 +116,7 @@ fn shard_files_cannot_mix_grids_or_sizing() {
         instrs_per_core: 2_000,
         seed: 4,
         threads: 2,
+        ..EvalConfig::smoke()
     };
     let grid = GridId::Scenario {
         selector: "quad-mix".to_owned(),

@@ -10,6 +10,7 @@ fn cfg() -> EvalConfig {
         instrs_per_core: 80_000,
         seed: 55,
         threads: 2,
+        ..EvalConfig::smoke()
     }
 }
 
