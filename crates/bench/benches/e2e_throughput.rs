@@ -10,7 +10,8 @@
 //! workload, seed and instruction target).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use sim::{run_one, scheme_label, EvalConfig, NmRatio, SchemeKind};
+use sim::runlog::RunRecord;
+use sim::{run_one, run_one_timed, scheme_label, EvalConfig, NmRatio, SchemeKind};
 use workloads::catalog;
 
 fn e2e_throughput(c: &mut Criterion) {
@@ -28,6 +29,21 @@ fn e2e_throughput(c: &mut Criterion) {
     // Ops-per-run constant for deriving mem-ops/sec from the timings.
     let r = run_one(SchemeKind::Hybrid2, spec, NmRatio::OneGb, &cfg);
     println!("e2e/mem_ops_per_run: {}", r.mem_ops);
+
+    // Opt-in run records (`RUNLOG_DIR`): one timed run per scheme row, so
+    // bench sessions land in the same queryable store as `reproduce` runs
+    // and BENCH_*.json numbers stay reproducible from logs.
+    if let Some(mut log) = bench::runlog_from_env("bench-e2e") {
+        for kind in std::iter::once(SchemeKind::Baseline).chain(SchemeKind::MAIN) {
+            let (r, secs) = run_one_timed(kind, spec, NmRatio::OneGb, &cfg);
+            let rec = RunRecord::new("bench:e2e", kind, NmRatio::OneGb, &cfg, &r, secs);
+            if let Err(e) = log.append(&rec) {
+                eprintln!("bench: cannot append run record: {e}");
+                break;
+            }
+        }
+        println!("e2e/runlog: {}", log.path().display());
+    }
 }
 
 criterion_group! {

@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 use sim::report::Report;
+use sim::runlog::RunLog;
 use sim::EvalConfig;
 
 /// The benchmark-scale evaluation configuration: 1/1024 capacities with a
@@ -42,6 +43,22 @@ pub fn kernel_cfg() -> EvalConfig {
 pub fn print_reports(reports: &[Report]) {
     for r in reports {
         println!("{}", r.render());
+    }
+}
+
+/// Opens a run-record log in the directory named by `RUNLOG_DIR`, if set —
+/// the benches' opt-in telemetry hook (CI's e2e job sets it so bench runs
+/// land in the same queryable store as `reproduce` runs). A bench must
+/// never fail because telemetry could not be written, so errors are
+/// reported to stderr and swallowed into `None`.
+pub fn runlog_from_env(context: &str) -> Option<RunLog> {
+    let dir = std::env::var_os("RUNLOG_DIR")?;
+    match RunLog::create(std::path::Path::new(&dir), context) {
+        Ok(log) => Some(log),
+        Err(e) => {
+            eprintln!("bench: cannot open run log: {e}");
+            None
+        }
     }
 }
 

@@ -4,6 +4,7 @@
 //! cargo run -p sim --release --bin reproduce -- --exp fig12 [options]
 //! cargo run -p sim --release --bin reproduce -- scenario <name|all> [options]
 //! cargo run -p sim --release --bin reproduce -- merge <file>... [--out FILE]
+//! cargo run -p sim --release --bin reproduce -- query <dir|file>... [filters]
 //!
 //! options:
 //!   --exp <id>        experiment id (fig01..fig18, table2, abl-budget,
@@ -20,6 +21,9 @@
 //!   --shard <K/N>     run only slice K of an N-way split of the grid and
 //!                     emit the machine-readable shard cells instead of the
 //!                     rendered reports (evalsuite / scenario grids only)
+//!   --runlog <dir>    append one structured run record per simulated grid
+//!                     cell to <dir> (evalsuite / scenario grids only);
+//!                     query the accumulated records with `reproduce query`
 //!   --out <file>      write output to <file> instead of stdout
 //!   --list            list experiment ids and exit
 //!
@@ -27,33 +31,45 @@
 //!   scenario <name|all>   run one named scenario or the whole catalog
 //!   --ratio <1gb|2gb|4gb> NM:FM ratio                     [default: 1gb]
 //!   --list                list the scenario catalog and exit
-//!   (--scale/--instrs/--seed/--threads/--batch/--shard/--out apply as
-//!   above)
+//!   (--scale/--instrs/--seed/--threads/--batch/--shard/--runlog/--out
+//!   apply as above)
 //!
 //! merge subcommand (reassemble a sharded run):
 //!   merge <file>...   merge shard files back into the full grid and print
 //!                     the reports a monolithic run would print — byte-
 //!                     identical output, enforced in CI with `cmp`
+//!
+//! query subcommand (aggregate accumulated run records):
+//!   query <dir|file>...   read run-record files (or whole run directories)
+//!   --scheme <tok>        keep one scheme (baseline, hybrid2, mempod, …)
+//!   --workload <name>     keep one workload/scenario by name
+//!   --ratio <1gb|2gb|4gb> keep one NM:FM ratio
+//!   --since-record <n>    keep records with global id >= n
+//!   (--out applies as above)
 //! ```
 //!
 //! Exit status: 0 on success, 1 on runtime failure (I/O, inconsistent
-//! shard files), 2 on a usage error (unknown flag/subcommand/id).
-//! Argument handling never panics; sizing *values* are not semantically
-//! validated, so an extreme `--scale` can still trip the simulator's own
-//! structural asserts (`ScaledSystem::new`) once the run starts.
+//! shard files, corrupt run records), 2 on a usage error (unknown
+//! flag/subcommand/id, malformed filter value). Argument handling never
+//! panics; sizing *values* are not semantically validated, so an extreme
+//! `--scale` can still trip the simulator's own structural asserts
+//! (`ScaledSystem::new`) once the run starts.
 
-use sim::experiments::{run_by_id, ALL_EXPERIMENTS};
+use sim::experiments::{evalsuite_reports, main_matrix_timed, run_by_id, ALL_EXPERIMENTS};
 use sim::shard::{self, ShardSpec};
-use sim::{scenario, EvalConfig, GridId, NmRatio};
+use sim::{runlog, scenario, EvalConfig, GridId, NmRatio};
 
 /// One-screen usage summary printed alongside every usage error.
 const USAGE: &str = "\
 usage: reproduce [--exp <id>] [--scale N] [--instrs N] [--seed N] [--threads N]
-                 [--batch N] [--smoke] [--shard K/N] [--out FILE] [--list]
+                 [--batch N] [--smoke] [--shard K/N] [--runlog DIR]
+                 [--out FILE] [--list]
        reproduce scenario <name|all> [--ratio 1gb|2gb|4gb] [--scale N]
                  [--instrs N] [--seed N] [--threads N] [--batch N]
-                 [--shard K/N] [--out FILE] [--list]
+                 [--shard K/N] [--runlog DIR] [--out FILE] [--list]
        reproduce merge <file>... [--out FILE]
+       reproduce query <dir|file>... [--scheme TOK] [--workload NAME]
+                 [--ratio 1gb|2gb|4gb] [--since-record N] [--out FILE]
 
 run `reproduce --list` for experiment ids, `reproduce scenario --list`
 for the scenario catalog; see the module docs for flag semantics.";
@@ -67,6 +83,7 @@ enum Command {
         cfg: EvalConfig,
         smoke: bool,
         shard: Option<ShardSpec>,
+        runlog: Option<String>,
         out: Option<String>,
         list: bool,
     },
@@ -76,12 +93,19 @@ enum Command {
         ratio: NmRatio,
         cfg: EvalConfig,
         shard: Option<ShardSpec>,
+        runlog: Option<String>,
         out: Option<String>,
         list: bool,
     },
     /// `merge <file>… [--out FILE]`.
     Merge {
         files: Vec<String>,
+        out: Option<String>,
+    },
+    /// `query <dir|file>… [filters] [--out FILE]`.
+    Query {
+        inputs: Vec<String>,
+        query: runlog::Query,
         out: Option<String>,
     },
 }
@@ -118,10 +142,11 @@ fn parse_sizing_flag(
     Ok(Some(i + 2))
 }
 
-/// Consumes a `--shard K/N` or `--out FILE` flag at `args[i]`, shared by
-/// the two run subcommands.
+/// Consumes a `--shard K/N`, `--runlog DIR` or `--out FILE` flag at
+/// `args[i]`, shared by the two run subcommands.
 fn parse_output_flag(
     shard: &mut Option<ShardSpec>,
+    runlog_dir: &mut Option<String>,
     out: &mut Option<String>,
     args: &[String],
     i: usize,
@@ -130,6 +155,10 @@ fn parse_output_flag(
         "--shard" => {
             let v = args.get(i + 1).ok_or("--shard needs a value (K/N)")?;
             *shard = Some(ShardSpec::parse(v)?);
+        }
+        "--runlog" => {
+            let v = args.get(i + 1).ok_or("--runlog needs a directory path")?;
+            *runlog_dir = Some(v.clone());
         }
         "--out" => {
             let v = args.get(i + 1).ok_or("--out needs a file path")?;
@@ -146,6 +175,7 @@ fn parse_scenario(args: &[String]) -> Result<Command, String> {
     let mut ratio = NmRatio::OneGb;
     let mut selector: Option<String> = None;
     let mut sh = None;
+    let mut rl = None;
     let mut out = None;
     let mut list = false;
 
@@ -155,7 +185,7 @@ fn parse_scenario(args: &[String]) -> Result<Command, String> {
             i = next;
             continue;
         }
-        if let Some(next) = parse_output_flag(&mut sh, &mut out, args, i)? {
+        if let Some(next) = parse_output_flag(&mut sh, &mut rl, &mut out, args, i)? {
             i = next;
             continue;
         }
@@ -193,9 +223,57 @@ fn parse_scenario(args: &[String]) -> Result<Command, String> {
         ratio,
         cfg,
         shard: sh,
+        runlog: rl,
         out,
         list,
     })
+}
+
+/// Parses `reproduce query …`; `args` excludes the leading token.
+fn parse_query(args: &[String]) -> Result<Command, String> {
+    let mut inputs = Vec::new();
+    let mut query = runlog::Query::default();
+    let mut out = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scheme" => {
+                let v = args.get(i + 1).ok_or("--scheme needs a scheme token")?;
+                query.scheme = Some(shard::parse_kind_token(v)?);
+                i += 2;
+            }
+            "--workload" => {
+                let v = args.get(i + 1).ok_or("--workload needs a name")?;
+                query.workload = Some(v.clone());
+                i += 2;
+            }
+            "--ratio" => {
+                let v = args.get(i + 1).ok_or("--ratio needs a value")?;
+                query.ratio = Some(shard::parse_ratio_token(v)?);
+                i += 2;
+            }
+            "--since-record" => {
+                query.since_record = Some(flag_value(args, i, "--since-record")?);
+                i += 2;
+            }
+            "--out" => {
+                let v = args.get(i + 1).ok_or("--out needs a file path")?;
+                out = Some(v.clone());
+                i += 2;
+            }
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown query argument {flag:?}"));
+            }
+            input => {
+                inputs.push(input.to_owned());
+                i += 1;
+            }
+        }
+    }
+    if inputs.is_empty() {
+        return Err("query needs at least one run directory or record file".to_owned());
+    }
+    Ok(Command::Query { inputs, query, out })
 }
 
 /// Parses `reproduce merge …`; `args` excludes the leading token.
@@ -231,6 +309,7 @@ fn parse_eval(args: &[String]) -> Result<Command, String> {
     let mut cfg = EvalConfig::default_eval();
     let mut smoke = false;
     let mut sh = None;
+    let mut rl = None;
     let mut out = None;
     let mut list = false;
 
@@ -240,7 +319,7 @@ fn parse_eval(args: &[String]) -> Result<Command, String> {
             i = next;
             continue;
         }
-        if let Some(next) = parse_output_flag(&mut sh, &mut out, args, i)? {
+        if let Some(next) = parse_output_flag(&mut sh, &mut rl, &mut out, args, i)? {
             i = next;
             continue;
         }
@@ -274,11 +353,17 @@ fn parse_eval(args: &[String]) -> Result<Command, String> {
             "--shard only applies to the evalsuite matrix (or the scenario grid), not {exp:?}"
         ));
     }
+    if rl.is_some() && exp != "evalsuite" {
+        return Err(format!(
+            "--runlog only applies to the evalsuite matrix (or the scenario grid), not {exp:?}"
+        ));
+    }
     Ok(Command::Eval {
         exp,
         cfg,
         smoke,
         shard: sh,
+        runlog: rl,
         out,
         list,
     })
@@ -289,6 +374,7 @@ fn parse_command(args: &[String]) -> Result<Command, String> {
     match args.first().map(String::as_str) {
         Some("scenario") => parse_scenario(&args[1..]),
         Some("merge") => parse_merge(&args[1..]),
+        Some("query") => parse_query(&args[1..]),
         _ => parse_eval(args),
     }
 }
@@ -305,12 +391,65 @@ fn emit(out: &Option<String>, text: &str) -> Result<(), String> {
     }
 }
 
+/// The run-record `source` tag of a grid.
+fn grid_source(grid: &GridId) -> String {
+    match grid {
+        GridId::Scenario { selector } => format!("scenario:{selector}"),
+        GridId::Eval { smoke } => {
+            format!("evalsuite:{}", if *smoke { "smoke" } else { "full" })
+        }
+    }
+}
+
+/// Appends one run record per cell to `--runlog DIR`, if requested.
+fn record_cells_to(
+    runlog_dir: &Option<String>,
+    source: &str,
+    ratio: NmRatio,
+    cfg: &EvalConfig,
+    cells: &[(shard::CellKey, sim::RunResult, f64)],
+) -> Result<(), String> {
+    let Some(dir) = runlog_dir else {
+        return Ok(());
+    };
+    let mut log = runlog::RunLog::create(std::path::Path::new(dir), source)?;
+    runlog::record_cells(&mut log, source, ratio, cfg, cells)?;
+    eprintln!(
+        "recorded {} run record(s) to {}",
+        cells.len(),
+        log.path().display()
+    );
+    Ok(())
+}
+
+/// Appends one run record per matrix slot to `--runlog DIR`, if requested.
+fn record_matrix_to(
+    runlog_dir: &Option<String>,
+    source: &str,
+    m: &sim::Matrix,
+    secs: &[f64],
+    cfg: &EvalConfig,
+) -> Result<(), String> {
+    let Some(dir) = runlog_dir else {
+        return Ok(());
+    };
+    let mut log = runlog::RunLog::create(std::path::Path::new(dir), source)?;
+    runlog::record_matrix(&mut log, source, m, secs, cfg)?;
+    eprintln!(
+        "recorded {} run record(s) to {}",
+        secs.len(),
+        log.path().display()
+    );
+    Ok(())
+}
+
 /// Runs one shard of `grid` and emits the interchange file.
 fn run_shard_cmd(
     grid: &GridId,
     ratio: NmRatio,
     cfg: &EvalConfig,
     sh: ShardSpec,
+    runlog_dir: &Option<String>,
     out: &Option<String>,
 ) -> Result<(), String> {
     eprintln!(
@@ -321,10 +460,38 @@ fn run_shard_cmd(
         cfg.threads
     );
     let started = std::time::Instant::now();
-    let encoded = shard::run_shard(grid, ratio, cfg, sh)?;
-    emit(out, &encoded)?;
+    let run = shard::run_shard(grid, ratio, cfg, sh)?;
+    emit(out, &run.encoded)?;
+    record_cells_to(runlog_dir, &grid_source(grid), ratio, cfg, &run.cells)?;
     eprintln!("done in {:.1}s", started.elapsed().as_secs_f64());
     Ok(())
+}
+
+/// Runs `reproduce query <inputs…>`: reads run-record files (or whole run
+/// directories), filters and renders the aggregate reports.
+fn run_query_cmd(
+    inputs: &[String],
+    query: &runlog::Query,
+    out: &Option<String>,
+) -> Result<(), String> {
+    let mut files: Vec<(String, String)> = Vec::new();
+    for input in inputs {
+        let meta = std::fs::metadata(input).map_err(|e| format!("cannot read {input:?}: {e}"))?;
+        if meta.is_dir() {
+            files.extend(runlog::dir_inputs(std::path::Path::new(input))?);
+        } else {
+            let contents = std::fs::read_to_string(input)
+                .map_err(|e| format!("cannot read {input:?}: {e}"))?;
+            files.push((input.clone(), contents));
+        }
+    }
+    let store = runlog::read_store(&files)?;
+    let mut text = String::new();
+    for report in runlog::run_query(&store, query) {
+        text.push_str(&report.render());
+        text.push('\n');
+    }
+    emit(out, &text)
 }
 
 /// Runs `reproduce merge <files…>`.
@@ -358,6 +525,7 @@ fn run_scenario(
     ratio: NmRatio,
     cfg: &EvalConfig,
     sh: Option<ShardSpec>,
+    runlog_dir: &Option<String>,
     out: &Option<String>,
     list: bool,
 ) -> Result<(), String> {
@@ -366,11 +534,11 @@ fn run_scenario(
     }
     let selector = selector.as_deref().expect("parse guarantees a selector");
     let scens = scenario::select(selector).expect("parse validated the selector");
+    let grid = GridId::Scenario {
+        selector: selector.to_owned(),
+    };
     if let Some(sh) = sh {
-        let grid = GridId::Scenario {
-            selector: selector.to_owned(),
-        };
-        return run_shard_cmd(&grid, ratio, cfg, sh, out);
+        return run_shard_cmd(&grid, ratio, cfg, sh, runlog_dir, out);
     }
     eprintln!(
         "running {} scenario(s) at 1/{} scale, {} instrs/core, NM {}, {} threads",
@@ -381,13 +549,14 @@ fn run_scenario(
         cfg.threads
     );
     let started = std::time::Instant::now();
-    let m = scenario::run_grid(&scens, ratio, cfg);
+    let (m, secs) = scenario::run_grid_timed(&scens, ratio, cfg);
     let mut text = String::new();
     for report in scenario::grid_reports(&m) {
         text.push_str(&report.render());
         text.push('\n');
     }
     emit(out, &text)?;
+    record_matrix_to(runlog_dir, &grid_source(&grid), &m, &secs, cfg)?;
     eprintln!("done in {:.1}s", started.elapsed().as_secs_f64());
     Ok(())
 }
@@ -398,6 +567,7 @@ fn run_eval(
     cfg: &EvalConfig,
     smoke: bool,
     sh: Option<ShardSpec>,
+    runlog_dir: &Option<String>,
     out: &Option<String>,
     list: bool,
 ) -> Result<(), String> {
@@ -409,9 +579,9 @@ fn run_eval(
         }
         return emit(out, &text);
     }
+    let grid = GridId::Eval { smoke };
     if let Some(sh) = sh {
-        let grid = GridId::Eval { smoke };
-        return run_shard_cmd(&grid, NmRatio::OneGb, cfg, sh, out);
+        return run_shard_cmd(&grid, NmRatio::OneGb, cfg, sh, runlog_dir, out);
     }
     eprintln!(
         "running {exp} at 1/{} scale, {} instrs/core, {} workloads, {} threads",
@@ -422,11 +592,24 @@ fn run_eval(
     );
     let started = std::time::Instant::now();
     let mut text = String::new();
-    for report in run_by_id(exp, cfg, smoke) {
-        text.push_str(&report.render());
-        text.push('\n');
+    // `--runlog` implies the timed evalsuite matrix path (parse rejects it
+    // for any other experiment); the reports are identical to run_by_id's
+    // — both call evalsuite_reports on the same deterministic matrix.
+    if runlog_dir.is_some() {
+        let (m, secs) = main_matrix_timed(NmRatio::OneGb, cfg, smoke);
+        for report in evalsuite_reports(&m) {
+            text.push_str(&report.render());
+            text.push('\n');
+        }
+        emit(out, &text)?;
+        record_matrix_to(runlog_dir, &grid_source(&grid), &m, &secs, cfg)?;
+    } else {
+        for report in run_by_id(exp, cfg, smoke) {
+            text.push_str(&report.render());
+            text.push('\n');
+        }
+        emit(out, &text)?;
     }
-    emit(out, &text)?;
     eprintln!("done in {:.1}s", started.elapsed().as_secs_f64());
     Ok(())
 }
@@ -447,18 +630,21 @@ fn main() {
             cfg,
             smoke,
             shard,
+            runlog,
             out,
             list,
-        } => run_eval(exp, cfg, *smoke, *shard, out, *list),
+        } => run_eval(exp, cfg, *smoke, *shard, runlog, out, *list),
         Command::Scenario {
             selector,
             ratio,
             cfg,
             shard,
+            runlog,
             out,
             list,
-        } => run_scenario(selector, *ratio, cfg, *shard, out, *list),
+        } => run_scenario(selector, *ratio, cfg, *shard, runlog, out, *list),
         Command::Merge { files, out } => run_merge(files, out),
+        Command::Query { inputs, query, out } => run_query_cmd(inputs, query, out),
     };
     if let Err(e) = outcome {
         eprintln!("error: {e}");
@@ -492,6 +678,7 @@ mod tests {
             &["--exp", "fig12", "--frobnicate"][..],
             &["scenario", "all", "--bogus"][..],
             &["merge", "a.tsv", "--bogus"][..],
+            &["query", "rundir", "--bogus"][..],
         ] {
             let e = parse(args).unwrap_err();
             assert!(e.contains("unknown"), "{args:?} -> {e}");
@@ -536,6 +723,74 @@ mod tests {
     fn shard_rejected_for_non_matrix_experiments() {
         let e = parse(&["--exp", "fig12", "--shard", "1/2"]).unwrap_err();
         assert!(e.contains("evalsuite"), "{e}");
+    }
+
+    #[test]
+    fn runlog_parses_on_grid_paths_and_rejects_elsewhere() {
+        match parse(&["--exp", "evalsuite", "--runlog", "rundir"]).unwrap() {
+            Command::Eval { runlog, .. } => assert_eq!(runlog.as_deref(), Some("rundir")),
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&["scenario", "all", "--runlog", "rundir", "--shard", "1/2"]).unwrap() {
+            Command::Scenario { runlog, shard, .. } => {
+                assert_eq!(runlog.as_deref(), Some("rundir"));
+                assert!(shard.is_some());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Usage errors (exit 2): non-grid experiment, missing value.
+        let e = parse(&["--exp", "fig12", "--runlog", "rundir"]).unwrap_err();
+        assert!(e.contains("evalsuite"), "{e}");
+        assert!(parse(&["--runlog"]).unwrap_err().contains("--runlog"));
+    }
+
+    #[test]
+    fn query_flags_parse_and_bad_values_are_usage_errors() {
+        match parse(&[
+            "query",
+            "rundir",
+            "extra.runlog.tsv",
+            "--scheme",
+            "hybrid2",
+            "--workload",
+            "stream-chase",
+            "--ratio",
+            "2gb",
+            "--since-record",
+            "56",
+            "--out",
+            "q.txt",
+        ])
+        .unwrap()
+        {
+            Command::Query { inputs, query, out } => {
+                assert_eq!(inputs, vec!["rundir", "extra.runlog.tsv"]);
+                assert_eq!(query.scheme, Some(sim::SchemeKind::Hybrid2));
+                assert_eq!(query.workload.as_deref(), Some("stream-chase"));
+                assert_eq!(query.ratio, Some(NmRatio::TwoGb));
+                assert_eq!(query.since_record, Some(56));
+                assert_eq!(out.as_deref(), Some("q.txt"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Bad values are usage errors (exit 2), never panics.
+        assert!(parse(&["query"]).unwrap_err().contains("at least one"));
+        let e = parse(&["query", "rundir", "--scheme", "quantum-cache"]).unwrap_err();
+        assert!(e.contains("quantum-cache"), "{e}");
+        let e = parse(&["query", "rundir", "--ratio", "8gb"]).unwrap_err();
+        assert!(e.contains("8gb"), "{e}");
+        let e = parse(&["query", "rundir", "--since-record", "many"]).unwrap_err();
+        assert!(e.contains("--since-record"), "{e}");
+        assert!(parse(&["query", "rundir", "--scheme"])
+            .unwrap_err()
+            .contains("--scheme"));
+    }
+
+    #[test]
+    fn emit_surfaces_io_errors_with_the_path() {
+        let out = Some("/nonexistent-dir-for-sure/x.txt".to_owned());
+        let e = emit(&out, "text").unwrap_err();
+        assert!(e.contains("/nonexistent-dir-for-sure/x.txt"), "{e}");
     }
 
     #[test]

@@ -43,7 +43,13 @@ pub fn workload_set(smoke: bool) -> Vec<&'static WorkloadSpec> {
 /// Runs the main six-scheme matrix at one ratio (shared by Figures 12, 13,
 /// 15, 16, 17 and 18).
 pub fn main_matrix(ratio: NmRatio, cfg: &EvalConfig, smoke: bool) -> Matrix {
-    Matrix::run(&SchemeKind::MAIN, &workload_set(smoke), ratio, cfg)
+    main_matrix_timed(ratio, cfg, smoke).0
+}
+
+/// [`main_matrix`] plus per-cell wall-clock seconds in slot order — the
+/// telemetry the `--runlog` run records carry.
+pub fn main_matrix_timed(ratio: NmRatio, cfg: &EvalConfig, smoke: bool) -> (Matrix, Vec<f64>) {
+    Matrix::run_timed(&SchemeKind::MAIN, &workload_set(smoke), ratio, cfg)
 }
 
 /// The `evalsuite` report set (Figures 13 and 15–18) derived from one

@@ -20,6 +20,9 @@
 //!   `reproduce scenario` subcommand.
 //! * [`shard`] — process-level `--shard K/N` slicing of the grids and the
 //!   `reproduce merge` reassembly, byte-identical to a monolithic run.
+//! * [`runlog`] — append-only, versioned run records (one per simulated
+//!   grid cell, float-bit exact) and the query store behind
+//!   `reproduce query`.
 //!
 //! # Example
 //!
@@ -43,6 +46,7 @@ mod machine;
 mod matrix;
 mod page_alloc;
 pub mod report;
+pub mod runlog;
 mod runner;
 mod scale;
 pub mod scenario;
@@ -52,6 +56,6 @@ pub use any_scheme::AnyScheme;
 pub use machine::{Machine, RunResult, DEFAULT_BATCH};
 pub use matrix::{ClassSummary, Matrix};
 pub use page_alloc::PageAllocator;
-pub use runner::{build_scheme, run_one, scheme_label, EvalConfig, SchemeKind};
+pub use runner::{build_scheme, run_one, run_one_timed, scheme_label, EvalConfig, SchemeKind};
 pub use scale::{NmRatio, ScaledSystem};
 pub use shard::{GridId, Merged, ShardSpec};

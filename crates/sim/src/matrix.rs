@@ -205,10 +205,10 @@ fn run_jobs(
     specs: &[&'static WorkloadSpec],
     ratio: NmRatio,
     cfg: &EvalConfig,
-) -> Vec<RunResult> {
+) -> Vec<(RunResult, f64)> {
     let mut order: Vec<usize> = (0..jobs.len()).collect();
     order.sort_by(|&a, &b| lpt_order(&jobs[a], &jobs[b], specs));
-    let results: Vec<OnceLock<RunResult>> = jobs.iter().map(|_| OnceLock::new()).collect();
+    let results: Vec<OnceLock<(RunResult, f64)>> = jobs.iter().map(|_| OnceLock::new()).collect();
     let workers = cfg.threads.max(1).min(jobs.len().max(1));
     let mut queues: Vec<VecDeque<usize>> = (0..workers).map(|_| VecDeque::new()).collect();
     for (i, &ji) in order.iter().enumerate() {
@@ -232,9 +232,13 @@ fn run_jobs(
                     break;
                 };
                 let Job { w, kind, .. } = jobs[ji];
+                // Per-cell wall clock is run-record telemetry; it never
+                // influences results or scheduling.
+                let started = std::time::Instant::now();
                 let r = run_one(kind, specs[w], ratio, cfg);
+                let secs = started.elapsed().as_secs_f64();
                 results[ji]
-                    .set(r)
+                    .set((r, secs))
                     .unwrap_or_else(|_| panic!("job {ji} written twice"));
             });
         }
@@ -257,17 +261,32 @@ impl Matrix {
         ratio: NmRatio,
         cfg: &EvalConfig,
     ) -> Matrix {
+        Matrix::run_timed(kinds, specs, ratio, cfg).0
+    }
+
+    /// [`Matrix::run`] plus per-cell wall-clock seconds in slot order
+    /// (baseline rows first, then each scheme row) — the telemetry the
+    /// `sim::runlog` run records carry. The matrix itself is identical to
+    /// [`Matrix::run`]'s; only the timings vary run to run.
+    pub fn run_timed(
+        kinds: &[SchemeKind],
+        specs: &[&'static WorkloadSpec],
+        ratio: NmRatio,
+        cfg: &EvalConfig,
+    ) -> (Matrix, Vec<f64>) {
         let jobs = slot_jobs(kinds, specs);
-        let flat = run_jobs(&jobs, specs, ratio, cfg);
-        Matrix::assemble(kinds, specs, ratio, flat)
+        let timed = run_jobs(&jobs, specs, ratio, cfg);
+        let (flat, secs): (Vec<RunResult>, Vec<f64>) = timed.into_iter().unzip();
+        (Matrix::assemble(kinds, specs, ratio, flat), secs)
     }
 
     /// Runs only the grid cells of shard `index0` (0-based) of a
     /// `count`-way split (see [`shard_jobs`]) on the same work-stealing
-    /// scheduler, returning `(job, result)` pairs in slot order. The
-    /// `sim::shard` module encodes these to the shard interchange format;
-    /// merging every shard of a split reassembles the exact [`Matrix`]
-    /// that [`Matrix::run`] computes monolithically.
+    /// scheduler, returning `(job, result, wall-clock secs)` triples in
+    /// slot order. The `sim::shard` module encodes these to the shard
+    /// interchange format (dropping the timing — byte-identity); merging
+    /// every shard of a split reassembles the exact [`Matrix`] that
+    /// [`Matrix::run`] computes monolithically.
     pub(crate) fn run_shard(
         kinds: &[SchemeKind],
         specs: &[&'static WorkloadSpec],
@@ -275,10 +294,13 @@ impl Matrix {
         cfg: &EvalConfig,
         index0: usize,
         count: usize,
-    ) -> Vec<(Job, RunResult)> {
+    ) -> Vec<(Job, RunResult, f64)> {
         let jobs = shard_jobs(kinds, specs, index0, count);
         let results = run_jobs(&jobs, specs, ratio, cfg);
-        jobs.into_iter().zip(results).collect()
+        jobs.into_iter()
+            .zip(results)
+            .map(|(job, (r, secs))| (job, r, secs))
+            .collect()
     }
 
     /// Single-threaded reference scheduler: runs the same job list in slot
@@ -451,6 +473,58 @@ mod tests {
             }
             assert!(seen.iter().all(|&s| s), "not covering for count={count}");
         }
+    }
+
+    #[test]
+    fn zero_op_baseline_cells_never_produce_nan() {
+        // A corrupt or degenerate baseline (zero cycles/traffic/energy)
+        // must yield finite normalized metrics — NaN/inf in a speedup or
+        // norm would poison golden digests and floor comparisons.
+        let zero = RunResult {
+            scheme: "BASELINE",
+            workload: "lbm",
+            cycles: 0,
+            instructions: 0,
+            mem_ops: 0,
+            mpki: 0.0,
+            nm_served: 0.0,
+            fm_traffic: 0,
+            nm_traffic: 0,
+            energy_mj: 0.0,
+            footprint: 0,
+            stats: Default::default(),
+        };
+        let specs = [catalog::by_name("lbm").unwrap()];
+        let m = Matrix::assemble(
+            &[SchemeKind::Hybrid2],
+            &specs,
+            NmRatio::OneGb,
+            vec![zero.clone(), zero],
+        );
+        for v in [
+            m.speedup(0, 0),
+            m.fm_traffic_norm(0, 0),
+            m.nm_traffic_norm(0, 0),
+            m.energy_norm(0, 0),
+            m.class_geomean(0, None, Matrix::speedup),
+        ] {
+            assert!(v.is_finite(), "normalized metric must stay finite: {v}");
+        }
+    }
+
+    #[test]
+    fn run_timed_returns_one_sample_per_slot() {
+        let cfg = EvalConfig {
+            scale_den: 1024,
+            instrs_per_core: 5_000,
+            seed: 5,
+            threads: 2,
+            ..EvalConfig::smoke()
+        };
+        let specs = [catalog::by_name("lbm").unwrap()];
+        let (m, secs) = Matrix::run_timed(&[SchemeKind::Tagless], &specs, NmRatio::OneGb, &cfg);
+        assert_eq!(secs.len(), (m.schemes.len() + 1) * m.workloads.len());
+        assert!(secs.iter().all(|s| s.is_finite() && *s >= 0.0));
     }
 
     #[test]

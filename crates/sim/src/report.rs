@@ -65,11 +65,15 @@ impl Report {
             }
             s
         };
-        let _ = writeln!(out, "{}", line(&self.header, &widths));
-        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
-        let _ = writeln!(out, "{}", "-".repeat(total));
-        for row in &self.rows {
-            let _ = writeln!(out, "{}", line(row, &widths));
+        // A zero-column report (title + notes only) has no table to draw;
+        // `widths.len() - 1` below would underflow on it.
+        if !self.header.is_empty() {
+            let _ = writeln!(out, "{}", line(&self.header, &widths));
+            let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+            let _ = writeln!(out, "{}", "-".repeat(total));
+            for row in &self.rows {
+                let _ = writeln!(out, "{}", line(row, &widths));
+            }
         }
         for note in &self.notes {
             let _ = writeln!(out, "  note: {note}");
@@ -116,6 +120,18 @@ mod tests {
     fn mismatched_row_panics() {
         let mut r = Report::new("x", vec!["a", "b"]);
         r.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn zero_column_report_renders_title_only() {
+        // Regression: `2 * (widths.len() - 1)` underflowed usize on a
+        // headerless report and panicked.
+        let mut r = Report::new("Empty", Vec::new());
+        r.push_note("still prints");
+        let s = r.render();
+        assert!(s.contains("== Empty =="));
+        assert!(s.contains("note: still prints"));
+        assert!(!s.contains('-'), "no separator without columns: {s:?}");
     }
 
     #[test]

@@ -247,6 +247,20 @@ pub fn run_one(
     machine.run_batched(cfg.instrs_per_core, cfg.batch)
 }
 
+/// [`run_one`] plus the wall-clock seconds the run took — the timing the
+/// `sim::runlog` run records and the perf-smoke floor consume. The result
+/// itself is deterministic; only the seconds vary run to run.
+pub fn run_one_timed(
+    kind: SchemeKind,
+    spec: &'static WorkloadSpec,
+    ratio: NmRatio,
+    cfg: &EvalConfig,
+) -> (RunResult, f64) {
+    let started = std::time::Instant::now();
+    let r = run_one(kind, spec, ratio, cfg);
+    (r, started.elapsed().as_secs_f64())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

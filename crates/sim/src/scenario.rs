@@ -34,19 +34,30 @@ pub fn workloads_of(scens: &[&'static ScenarioSpec]) -> Vec<&'static WorkloadSpe
 
 /// Runs the MAIN six schemes (plus the baseline) over `scens` at `ratio`.
 pub fn run_grid(scens: &[&'static ScenarioSpec], ratio: NmRatio, cfg: &EvalConfig) -> Matrix {
-    Matrix::run(&SchemeKind::MAIN, &workloads_of(scens), ratio, cfg)
+    run_grid_timed(scens, ratio, cfg).0
+}
+
+/// [`run_grid`] plus per-cell wall-clock seconds in slot order — the
+/// telemetry `--runlog` run records carry. The matrix is identical to
+/// [`run_grid`]'s; only the timings vary run to run.
+pub fn run_grid_timed(
+    scens: &[&'static ScenarioSpec],
+    ratio: NmRatio,
+    cfg: &EvalConfig,
+) -> (Matrix, Vec<f64>) {
+    Matrix::run_timed(&SchemeKind::MAIN, &workloads_of(scens), ratio, cfg)
 }
 
 /// Runs one `--shard K/N` slice of the same scenario grid [`run_grid`]
-/// covers, returning `(cell, result)` pairs in slot order for the
-/// [`crate::shard`] interchange format. Merging every slice of a split
-/// reproduces [`run_grid`]'s matrix exactly.
+/// covers, returning `(cell, result, wall-clock secs)` triples in slot
+/// order for the [`crate::shard`] interchange format. Merging every slice
+/// of a split reproduces [`run_grid`]'s matrix exactly.
 pub fn run_grid_shard(
     scens: &[&'static ScenarioSpec],
     ratio: NmRatio,
     cfg: &EvalConfig,
     shard: ShardSpec,
-) -> Vec<(CellKey, RunResult)> {
+) -> Vec<(CellKey, RunResult, f64)> {
     crate::shard::run_matrix_shard(&SchemeKind::MAIN, &workloads_of(scens), ratio, cfg, shard)
 }
 
@@ -165,10 +176,11 @@ mod tests {
         let keys = crate::shard::shard_cell_keys(&SchemeKind::MAIN, &workloads_of(&scens), shard);
         assert!(!cells.is_empty());
         assert_eq!(cells.len(), keys.len());
-        for ((cell, r), key) in cells.iter().zip(&keys) {
+        for ((cell, r, secs), key) in cells.iter().zip(&keys) {
             assert_eq!(cell, key);
             assert_eq!(r.workload, key.workload);
             assert!(r.cycles > 0);
+            assert!(secs.is_finite() && *secs >= 0.0);
         }
     }
 

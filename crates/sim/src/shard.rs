@@ -155,17 +155,19 @@ pub fn shard_cell_keys(
 }
 
 /// Runs shard `shard` of a `kinds` × `specs` grid on the work-stealing
-/// scheduler, returning `(cell, result)` pairs in slot order.
+/// scheduler, returning `(cell, result, wall-clock secs)` triples in slot
+/// order. The timing is run-record telemetry only — it never enters the
+/// interchange format, which stays byte-identical run to run.
 pub fn run_matrix_shard(
     kinds: &[SchemeKind],
     specs: &[&'static WorkloadSpec],
     ratio: NmRatio,
     cfg: &EvalConfig,
     shard: ShardSpec,
-) -> Vec<(CellKey, RunResult)> {
+) -> Vec<(CellKey, RunResult, f64)> {
     Matrix::run_shard(kinds, specs, ratio, cfg, shard.index0(), shard.count)
         .into_iter()
-        .map(|(job, r)| (CellKey::of(&job, specs), r))
+        .map(|(job, r, secs)| (CellKey::of(&job, specs), r, secs))
         .collect()
 }
 
@@ -189,8 +191,9 @@ pub fn parse_ratio_token(s: &str) -> Result<NmRatio, String> {
     }
 }
 
-/// Stable token for a scheme kind in cell rows.
-fn kind_token(kind: SchemeKind) -> String {
+/// Stable token for a scheme kind, used in cell/record rows and accepted
+/// by the CLI's `query --scheme` filter.
+pub fn kind_token(kind: SchemeKind) -> String {
     use hybrid2_core::Variant;
     match kind {
         SchemeKind::Baseline => "baseline".into(),
@@ -221,7 +224,7 @@ fn kind_token(kind: SchemeKind) -> String {
 }
 
 /// Parses a [`kind_token`] back to the scheme kind.
-fn parse_kind_token(s: &str) -> Result<SchemeKind, String> {
+pub fn parse_kind_token(s: &str) -> Result<SchemeKind, String> {
     use hybrid2_core::Variant;
     let plain = match s {
         "baseline" => Some(SchemeKind::Baseline),
@@ -287,16 +290,28 @@ fn resolve(grid: &GridId) -> Result<(Vec<SchemeKind>, Vec<&'static WorkloadSpec>
     }
 }
 
-/// Runs one shard of `grid` and returns the encoded shard file contents.
+/// One executed shard: the encoded interchange file plus the timed cells,
+/// so the CLI can both emit the shard file and append run records without
+/// simulating twice.
+pub struct ShardRun {
+    /// The encoded shard file contents (what `--shard` writes to `--out`).
+    pub encoded: String,
+    /// `(cell, result, wall-clock secs)` triples in slot order.
+    pub cells: Vec<(CellKey, RunResult, f64)>,
+}
+
+/// Runs one shard of `grid` and returns the encoded shard file contents
+/// alongside the timed cells.
 pub fn run_shard(
     grid: &GridId,
     ratio: NmRatio,
     cfg: &EvalConfig,
     shard: ShardSpec,
-) -> Result<String, String> {
+) -> Result<ShardRun, String> {
     let (kinds, specs) = resolve(grid)?;
     let cells = run_matrix_shard(&kinds, &specs, ratio, cfg, shard);
-    Ok(encode(grid, ratio, cfg, shard, &cells))
+    let encoded = encode(grid, ratio, cfg, shard, &cells);
+    Ok(ShardRun { encoded, cells })
 }
 
 /// Renders the reports a monolithic run of `grid` would print — the merge
@@ -311,11 +326,11 @@ pub fn reports(grid: &GridId, m: &Matrix) -> Vec<Report> {
 
 /// IEEE-754 bit pattern of `v` as fixed-width hex — the exact-round-trip
 /// float encoding used in cell rows.
-fn f64_bits(v: f64) -> String {
+pub(crate) fn f64_bits(v: f64) -> String {
     format!("{:016x}", v.to_bits())
 }
 
-fn parse_f64_bits(s: &str, what: &str) -> Result<f64, String> {
+pub(crate) fn parse_f64_bits(s: &str, what: &str) -> Result<f64, String> {
     if s.len() != 16 {
         return Err(format!("{what} {s:?} is not a 16-digit hex bit pattern"));
     }
@@ -324,12 +339,12 @@ fn parse_f64_bits(s: &str, what: &str) -> Result<f64, String> {
         .map_err(|_| format!("{what} {s:?} is not a 16-digit hex bit pattern"))
 }
 
-fn parse_u64(s: &str, what: &str) -> Result<u64, String> {
+pub(crate) fn parse_u64(s: &str, what: &str) -> Result<u64, String> {
     s.parse()
         .map_err(|_| format!("{what} {s:?} is not an unsigned integer"))
 }
 
-fn parse_usize(s: &str, what: &str) -> Result<usize, String> {
+pub(crate) fn parse_usize(s: &str, what: &str) -> Result<usize, String> {
     s.parse()
         .map_err(|_| format!("{what} {s:?} is not an unsigned integer"))
 }
@@ -342,7 +357,7 @@ fn encode(
     ratio: NmRatio,
     cfg: &EvalConfig,
     shard: ShardSpec,
-    cells: &[(CellKey, RunResult)],
+    cells: &[(CellKey, RunResult, f64)],
 ) -> String {
     let mut out = String::new();
     out.push_str(VERSION);
@@ -365,7 +380,7 @@ fn encode(
     out.push_str(&format!("seed\t{}\n", cfg.seed));
     out.push_str(&format!("shard\t{shard}\n"));
     out.push_str(&format!("cells\t{}\n", cells.len()));
-    for (key, r) in cells {
+    for (key, r, _secs) in cells {
         // Destructure exhaustively: adding a RunResult or SchemeStats
         // field without extending the format (and bumping VERSION) must
         // not compile.
@@ -447,6 +462,13 @@ struct ShardFile {
 
 /// Parses one shard file.
 fn decode(contents: &str) -> Result<ShardFile, String> {
+    // A mid-value cut of the final row can survive every other check (the
+    // truncated number still parses, the column count is intact), so the
+    // trailing newline every encoder writes is load-bearing: its absence
+    // is the one reliable truncation tell.
+    if !contents.is_empty() && !contents.ends_with('\n') {
+        return Err("file is truncated (last line has no newline)".to_owned());
+    }
     let mut lines = contents.lines();
     match lines.next() {
         Some(v) if v == VERSION => {}
@@ -796,7 +818,7 @@ mod tests {
         ratio: NmRatio,
         scale_den: u64,
         shard: ShardSpec,
-    ) -> Vec<(CellKey, RunResult)> {
+    ) -> Vec<(CellKey, RunResult, f64)> {
         let sys = ScaledSystem::new(ratio, scale_den);
         shard_cell_keys(kinds, specs, shard)
             .into_iter()
@@ -834,7 +856,7 @@ mod tests {
                         used_bytes: x << 9,
                     },
                 };
-                (key, r)
+                (key, r, 0.0)
             })
             .collect()
     }
@@ -880,7 +902,7 @@ mod tests {
             ShardSpec { index: 1, count: 1 },
         );
         let m = &merged.matrix;
-        for (key, want) in &all {
+        for (key, want, _) in &all {
             let got = if key.slot < specs.len() {
                 &m.baseline[key.slot]
             } else {
@@ -902,6 +924,52 @@ mod tests {
         let (_, _, files) = synthetic_shards(9);
         assert!(files.iter().any(|(_, c)| c.contains("\ncells\t0\n")));
         assert!(merge(&files).is_ok());
+    }
+
+    #[test]
+    fn merge_survives_adversarial_slice_files() {
+        let (grid, _, files) = synthetic_shards(2);
+
+        // The same slice under a different file name is still a duplicate
+        // — the shard index betrays it, and the error names both files.
+        let copied = vec![
+            files[0].clone(),
+            ("sneaky-rename.tsv".to_owned(), files[0].1.clone()),
+            files[1].clone(),
+        ];
+        let e = merge(&copied).unwrap_err();
+        assert!(e.contains("appears twice"), "{e}");
+        assert!(e.contains("sneaky-rename.tsv"), "{e}");
+
+        // Mid-value truncation of the final row: the cut `used_bytes`
+        // still parses as an integer and the column count is intact, so
+        // only the missing trailing newline betrays the damage. (Before
+        // the newline check this merged "successfully" with a silently
+        // corrupted value.)
+        let mut cut = files.clone();
+        assert!(cut[0].1.ends_with('\n'));
+        let new_len = cut[0].1.len() - 2;
+        cut[0].1.truncate(new_len);
+        let e = merge(&cut).unwrap_err();
+        assert!(e.contains("truncated"), "{e}");
+        assert!(e.contains(&files[0].0), "error must name the file: {e}");
+
+        // CRLF line endings (a Windows checkout, a careless transfer)
+        // parse to the identical matrix — the merged reports stay
+        // byte-identical to the LF merge.
+        let want = merge(&files).unwrap();
+        let crlf: Vec<(String, String)> = files
+            .iter()
+            .map(|(n, c)| (n.clone(), c.replace('\n', "\r\n")))
+            .collect();
+        let got = merge(&crlf).unwrap();
+        let render = |m: &Matrix| {
+            reports(&grid, m)
+                .iter()
+                .map(Report::render)
+                .collect::<String>()
+        };
+        assert_eq!(render(&want.matrix), render(&got.matrix));
     }
 
     #[test]

@@ -20,8 +20,7 @@
 //! Set `PERF_SMOKE_JSON=<path>` to append the full capture as one JSON
 //! line (uploaded as a non-blocking CI artifact).
 
-use std::time::Instant;
-
+use hybrid2::harness::runlog;
 use hybrid2::prelude::*;
 
 /// The pinned measurement configuration. Changing it requires recapturing
@@ -69,12 +68,17 @@ fn mem_ops_per_sec_above_committed_floor() {
     let mut best_ops_per_sec = 0.0f64;
     let mut mem_ops = 0;
     for _ in 0..3 {
-        let started = Instant::now();
-        let r = run_one(SchemeKind::Hybrid2, spec, NmRatio::OneGb, &cfg);
-        let secs = started.elapsed().as_secs_f64();
+        let (r, secs) = run_one_timed(SchemeKind::Hybrid2, spec, NmRatio::OneGb, &cfg);
         mem_ops = r.mem_ops;
-        best_ops_per_sec = best_ops_per_sec.max(r.mem_ops as f64 / secs);
+        // `ops_per_sec` clamps a zero-rounding elapsed time instead of
+        // dividing by it: a raw `mem_ops / 0.0` is +inf, which would sail
+        // over any floor and turn this gate into a silent pass.
+        best_ops_per_sec = best_ops_per_sec.max(runlog::ops_per_sec(r.mem_ops, secs));
     }
+    assert!(
+        best_ops_per_sec.is_finite(),
+        "throughput must be a finite number before it can gate (got {best_ops_per_sec})"
+    );
     println!(
         "perf-smoke: {best_ops_per_sec:.0} mem-ops/sec over {mem_ops} ops \
          (floor {floor:.0}, margin {margin}x)"

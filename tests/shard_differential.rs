@@ -83,8 +83,8 @@ fn merge_of_shards_equals_monolithic_run_bit_for_bit() {
     let files: Vec<(String, String)> = (1..=count)
         .map(|index| {
             let spec = ShardSpec { index, count };
-            let encoded = shard::run_shard(&grid, ratio, &cfg, spec).unwrap();
-            (format!("shard-{index}.tsv"), encoded)
+            let run = shard::run_shard(&grid, ratio, &cfg, spec).unwrap();
+            (format!("shard-{index}.tsv"), run.encoded)
         })
         .collect();
     let merged = shard::merge(&files).unwrap();
@@ -138,6 +138,10 @@ fn shard_files_cannot_mix_grids_or_sizing() {
         ShardSpec { index: 2, count: 2 },
     )
     .unwrap();
-    let err = shard::merge(&[("a.tsv".to_owned(), s1), ("b.tsv".to_owned(), s2)]).unwrap_err();
+    let err = shard::merge(&[
+        ("a.tsv".to_owned(), s1.encoded),
+        ("b.tsv".to_owned(), s2.encoded),
+    ])
+    .unwrap_err();
     assert!(err.contains("disagrees"), "{err}");
 }
