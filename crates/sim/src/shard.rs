@@ -279,7 +279,9 @@ fn grid_kinds() -> Vec<SchemeKind> {
 }
 
 /// Resolves a grid id to its (scheme rows, workloads) job space.
-fn resolve(grid: &GridId) -> Result<(Vec<SchemeKind>, Vec<&'static WorkloadSpec>), String> {
+pub(crate) fn resolve(
+    grid: &GridId,
+) -> Result<(Vec<SchemeKind>, Vec<&'static WorkloadSpec>), String> {
     match grid {
         GridId::Scenario { selector } => {
             let scens = scenario::select(selector)
@@ -312,6 +314,36 @@ pub fn run_shard(
     let cells = run_matrix_shard(&kinds, &specs, ratio, cfg, shard);
     let encoded = encode(grid, ratio, cfg, shard, &cells);
     Ok(ShardRun { encoded, cells })
+}
+
+/// Validates one result payload against the job a cluster lease dispatched:
+/// the payload must be a well-formed shard file whose header names exactly
+/// the dispatcher's grid, ratio, sizing knobs and slice. The dispatcher
+/// rejects (and re-deals) anything else *before* it can poison the final
+/// merge — [`merge`] remains the second, authoritative gate.
+pub(crate) fn check_slice(
+    contents: &str,
+    grid: &GridId,
+    ratio: NmRatio,
+    cfg: &EvalConfig,
+    shard: ShardSpec,
+) -> Result<(), String> {
+    let f = decode(contents)?;
+    if f.grid != *grid
+        || f.ratio != ratio
+        || f.scale_den != cfg.scale_den
+        || f.instrs_per_core != cfg.instrs_per_core
+        || f.seed != cfg.seed
+    {
+        return Err("payload header disagrees with the dispatched job".to_owned());
+    }
+    if f.shard != shard {
+        return Err(format!(
+            "payload claims slice {}, lease covers {shard}",
+            f.shard
+        ));
+    }
+    Ok(())
 }
 
 /// Renders the reports a monolithic run of `grid` would print — the merge
@@ -599,6 +631,41 @@ pub struct Merged {
     pub matrix: Matrix,
 }
 
+/// How many absent slice indices a missing-slice error lists before
+/// summarizing the rest as a `+N more` tail.
+const MISSING_LIST_CAP: usize = 16;
+
+/// Names exactly which slice indices of a `count`-way split are absent
+/// from the supplied files, so an incomplete merge says what to re-run
+/// instead of making callers diff slice files by hand. The listing is
+/// capped at [`MISSING_LIST_CAP`] entries — the index walk stays bounded
+/// even when a corrupt header claims an astronomically wide split.
+fn missing_slices_message(have: &std::collections::BTreeMap<usize, &str>, count: usize) -> String {
+    let total_missing = count - have.len();
+    let mut listed: Vec<String> = Vec::new();
+    // Walk indices upward skipping present ones: the first
+    // MISSING_LIST_CAP absent indices all sit within the first
+    // `cap + have.len()` integers, so the walk is bounded by the *input*
+    // size, not the header's count.
+    let mut k = 1usize;
+    while listed.len() < MISSING_LIST_CAP.min(total_missing) && k <= count {
+        if !have.contains_key(&k) {
+            listed.push(format!("{k}/{count}"));
+        }
+        k += 1;
+    }
+    let more = total_missing - listed.len();
+    let tail = if more > 0 {
+        format!(" (+{more} more)")
+    } else {
+        String::new()
+    };
+    format!(
+        "{total_missing} of {count} slice(s) missing: {}{tail}",
+        listed.join(", ")
+    )
+}
+
 /// Merges shard files (as `(name, contents)` pairs, names only for error
 /// messages) back into the full [`Matrix`].
 ///
@@ -640,27 +707,20 @@ pub fn merge(inputs: &[(String, String)]) -> Result<Merged, String> {
         }
     }
     let count = head.shard.count;
-    // `count` is untrusted header input: bound it by the file count
-    // before allocating the presence table (an N-way split needs N
-    // files, so a larger count is already a missing-shard error).
-    if count > files.len() {
-        return Err(format!(
-            "split is {count}-way but only {} shard file(s) supplied",
-            files.len()
-        ));
-    }
-    let mut have = vec![None::<&str>; count];
+    // Presence is tracked by (1-based) slice index in a map, never in an
+    // allocation sized by the untrusted header count — a corrupt
+    // `K/<huge N>` header must produce an Err, not an OOM.
+    let mut have: std::collections::BTreeMap<usize, &str> = std::collections::BTreeMap::new();
     for (name, f) in &files {
-        if let Some(prev) = have[f.shard.index - 1] {
+        if let Some(prev) = have.insert(f.shard.index, name) {
             return Err(format!(
                 "shard {} appears twice ({prev} and {name})",
                 f.shard
             ));
         }
-        have[f.shard.index - 1] = Some(name);
     }
-    if let Some(missing) = have.iter().position(Option::is_none) {
-        return Err(format!("missing shard {}/{count}", missing + 1));
+    if have.len() < count {
+        return Err(missing_slices_message(&have, count));
     }
 
     let (kinds, specs) = resolve(&head.grid)?;
@@ -927,6 +987,28 @@ mod tests {
     }
 
     #[test]
+    fn merge_lists_exactly_the_missing_slices() {
+        // Slices 2 and 5 of a 5-way split withheld: the error must name
+        // both absent indices (and only those) so the caller knows what
+        // to re-run without diffing files by hand.
+        let (_, _, files) = synthetic_shards(5);
+        let partial: Vec<(String, String)> = files
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| *i != 1 && *i != 4)
+            .map(|(_, f)| f)
+            .collect();
+        let e = merge(&partial).unwrap_err();
+        assert!(e.contains("2 of 5 slice(s) missing"), "{e}");
+        assert!(e.contains("2/5") && e.contains("5/5"), "{e}");
+        assert!(
+            !e.contains("1/5") && !e.contains("3/5") && !e.contains("4/5"),
+            "{e}"
+        );
+        assert!(!e.contains("more"), "{e}");
+    }
+
+    #[test]
     fn merge_survives_adversarial_slice_files() {
         let (grid, _, files) = synthetic_shards(2);
 
@@ -980,7 +1062,8 @@ mod tests {
 
         let mut missing = files.clone();
         missing.pop();
-        assert!(merge(&missing).unwrap_err().contains("2-way"));
+        let e = merge(&missing).unwrap_err();
+        assert!(e.contains("1 of 2 slice(s) missing: 2/2"), "{e}");
 
         let dup = vec![files[0].clone(), files[0].clone()];
         assert!(merge(&dup).unwrap_err().contains("appears twice"));
@@ -1007,14 +1090,20 @@ mod tests {
         let e = merge(&huge_count).unwrap_err();
         assert!(e.contains("cells"), "{e}");
 
-        // Likewise a corrupt shard count: bounded by the file count
-        // before any allocation sized by it.
+        // Likewise a corrupt shard count: the missing-slice walk and its
+        // listing are bounded by the input size, never by the header's
+        // claimed width — no allocation or iteration scales with it.
         let mut huge_split: Vec<(String, String)> = files.clone();
         for f in &mut huge_split {
             f.1 = f.1.replace("/2\n", "/99999999999\n");
         }
         let e = merge(&huge_split).unwrap_err();
-        assert!(e.contains("supplied"), "{e}");
+        assert!(
+            e.contains("99999999997 of 99999999999 slice(s) missing"),
+            "{e}"
+        );
+        assert!(e.contains("3/99999999999"), "{e}");
+        assert!(e.contains("more"), "{e}");
 
         // An extreme `scale` header is metadata at merge time — it must
         // not reach ScaledSystem's validity asserts and panic.

@@ -1,0 +1,96 @@
+//! `reproduce … | head` must exit cleanly: a reader closing the pipe
+//! early is its prerogative, not a failure. Before the fix, the bare
+//! `print!` in `emit` panicked on EPIPE ("failed printing to stdout");
+//! now a broken pipe on stdout maps to exit 0 while every other stdout
+//! failure stays a normal exit-1 error.
+//!
+//! The tests close the read end of the child's stdout immediately after
+//! spawn. Whether the child's write then hits EPIPE or sneaks into the
+//! pipe buffer first is a race, but both outcomes must exit 0 — the old
+//! code exited 101 with a panic message whenever the race was lost.
+
+use std::process::{Command, Stdio};
+
+fn reproduce() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_reproduce"))
+}
+
+/// Spawns `reproduce <args>` with a piped stdout, drops the read end
+/// right away, and returns (exit-code, stderr).
+fn run_with_closed_stdout(args: &[&str]) -> (Option<i32>, String) {
+    let mut child = reproduce()
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn reproduce");
+    drop(child.stdout.take());
+    let output = child.wait_with_output().expect("wait for reproduce");
+    (
+        output.status.code(),
+        String::from_utf8_lossy(&output.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn scenario_list_into_closed_pipe_exits_zero() {
+    let (code, stderr) = run_with_closed_stdout(&["scenario", "--list"]);
+    assert_eq!(code, Some(0), "stderr:\n{stderr}");
+    assert!(!stderr.contains("panicked"), "stderr:\n{stderr}");
+}
+
+#[test]
+fn experiment_list_into_closed_pipe_exits_zero() {
+    let (code, stderr) = run_with_closed_stdout(&["--list"]);
+    assert_eq!(code, Some(0), "stderr:\n{stderr}");
+    assert!(!stderr.contains("panicked"), "stderr:\n{stderr}");
+}
+
+#[test]
+fn query_into_closed_pipe_exits_zero() {
+    // Build a small run directory to query, then pipe the query's stdout
+    // into a closed pipe.
+    let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/test-tmp")
+        .join(format!("cli-pipe-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let rundir = dir.join("runs");
+    let status = reproduce()
+        .args(["scenario", "stream-chase"])
+        .args(["--scale", "1024", "--instrs", "2000", "--threads", "1"])
+        .arg("--runlog")
+        .arg(&rundir)
+        .arg("--out")
+        .arg(dir.join("out.txt"))
+        .stderr(Stdio::null())
+        .status()
+        .expect("seed a run directory");
+    assert!(status.success(), "seeding run failed: {status}");
+
+    let rundir_str = rundir.to_str().expect("utf-8 path");
+    let (code, stderr) = run_with_closed_stdout(&["query", rundir_str]);
+    assert_eq!(code, Some(0), "stderr:\n{stderr}");
+    assert!(!stderr.contains("panicked"), "stderr:\n{stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The counterpart guarantee: a *real* stdout failure (not EPIPE) still
+/// exits 1 via the normal error path. `--out` into a nonexistent
+/// directory exercises the same `emit` plumbing.
+#[test]
+fn non_pipe_io_errors_still_exit_one() {
+    let out = reproduce()
+        .args([
+            "scenario",
+            "--list",
+            "--out",
+            "/nonexistent-dir-for-sure/x.txt",
+        ])
+        .output()
+        .expect("run reproduce");
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error:"), "stderr:\n{stderr}");
+    assert!(!stderr.contains("panicked"), "stderr:\n{stderr}");
+}

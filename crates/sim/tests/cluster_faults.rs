@@ -1,0 +1,238 @@
+//! Fault-injection integration tests for the cluster dispatcher
+//! (`reproduce serve` / `reproduce worker` over localhost TCP).
+//!
+//! Every test asserts the one property that matters: whatever workers do —
+//! never show up, get SIGKILLed mid-run, stall past their lease deadline,
+//! or deliver the same result twice — the dispatcher completes and its
+//! output is byte-identical to the monolithic run of the same grid.
+
+use std::io::Read;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Sizing shared by every run in this file: small enough for a debug
+/// build on a 1-vCPU runner, large enough that slices take real time.
+const SIZING: [&str; 6] = ["--scale", "1024", "--instrs", "60000", "--threads", "1"];
+const GRID: &str = "scenario:stream-chase";
+
+/// A scratch directory under `target/` (works in sandboxes without /tmp).
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/test-tmp")
+        .join(format!("cluster-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn reproduce() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_reproduce"))
+}
+
+/// Runs the monolithic reference of [`GRID`] and returns its output path.
+fn monolithic(dir: &Path) -> PathBuf {
+    let out = dir.join("mono.txt");
+    let status = reproduce()
+        .args(["scenario", "stream-chase"])
+        .args(SIZING)
+        .arg("--out")
+        .arg(&out)
+        .stderr(Stdio::null())
+        .status()
+        .expect("run monolithic reference");
+    assert!(status.success(), "monolithic run failed: {status}");
+    out
+}
+
+/// Starts `reproduce serve` for [`GRID`] and waits for the bound address.
+fn start_serve(dir: &Path, shards: u32, workers: u32, deadline: &str) -> (Child, String, PathBuf) {
+    let out = dir.join("cluster.txt");
+    let addr_file = dir.join("addr.txt");
+    let child = reproduce()
+        .args(["serve", GRID])
+        .args(["--shards", &shards.to_string()])
+        .args(["--workers-expected", &workers.to_string()])
+        .args(["--deadline-secs", deadline])
+        .args(["--listen", "127.0.0.1:0"])
+        .arg("--addr-file")
+        .arg(&addr_file)
+        .args(SIZING)
+        .arg("--out")
+        .arg(&out)
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    let start = Instant::now();
+    let addr = loop {
+        if let Ok(s) = std::fs::read_to_string(&addr_file) {
+            let s = s.trim().to_owned();
+            if !s.is_empty() {
+                break s;
+            }
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "dispatcher never wrote its address file"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    (child, addr, out)
+}
+
+fn start_worker(addr: &str, extra: &[&str]) -> Child {
+    reproduce()
+        .args(["worker", addr, "--threads", "1"])
+        .args(extra)
+        .stderr(Stdio::null())
+        .stdout(Stdio::null())
+        .spawn()
+        .expect("spawn worker")
+}
+
+/// Waits for `child` with an overall cap, returning (exit-success, stderr).
+fn wait_capped(mut child: Child, cap: Duration) -> (bool, String) {
+    let start = Instant::now();
+    loop {
+        match child.try_wait().expect("poll child") {
+            Some(status) => {
+                let mut stderr = String::new();
+                if let Some(mut pipe) = child.stderr.take() {
+                    let _ = pipe.read_to_string(&mut stderr);
+                }
+                return (status.success(), stderr);
+            }
+            None => {
+                if start.elapsed() >= cap {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    panic!("dispatcher still running after {cap:?} — the no-hang guarantee failed");
+                }
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        }
+    }
+}
+
+fn assert_identical(mono: &Path, cluster: &Path, stderr: &str) {
+    let a = std::fs::read(mono).expect("read monolithic output");
+    let b = std::fs::read(cluster).expect("read cluster output");
+    assert!(!a.is_empty(), "monolithic output is empty");
+    assert_eq!(
+        a, b,
+        "cluster output differs from monolithic\n--- dispatcher stderr ---\n{stderr}"
+    );
+}
+
+/// The no-hang guarantee, worst case: zero workers ever connect. Every
+/// slice is taken over in-process once the (short) deadline passes with
+/// no progress, and the output still matches the monolithic run.
+#[test]
+fn zero_workers_degrades_to_in_process_completion() {
+    let dir = temp_dir("zero-workers");
+    let mono = monolithic(&dir);
+    let (serve, _addr, out) = start_serve(&dir, 3, 2, "0.3");
+    let (ok, stderr) = wait_capped(serve, Duration::from_secs(120));
+    assert!(ok, "serve failed:\n{stderr}");
+    assert!(
+        stderr.contains("running it in-process"),
+        "expected in-process takeover in stderr:\n{stderr}"
+    );
+    assert_identical(&mono, &out, &stderr);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The headline artifact: three workers, one SIGKILLed mid-run, one
+/// stalled far past its lease deadline — the dispatcher re-deals their
+/// slices and the merged output is still `cmp`-identical.
+#[test]
+fn killed_and_stalled_workers_still_yield_identical_output() {
+    let dir = temp_dir("kill-stall");
+    let mono = monolithic(&dir);
+    let (serve, addr, out) = start_serve(&dir, 4, 3, "1");
+    let healthy = start_worker(&addr, &[]);
+    let mut stalled = start_worker(&addr, &["--fault-stall-secs", "120"]);
+    let mut victim = start_worker(&addr, &[]);
+    // Let the victim connect and lease a slice, then SIGKILL it.
+    std::thread::sleep(Duration::from_millis(300));
+    victim.kill().expect("kill worker");
+    let _ = victim.wait();
+
+    let (ok, stderr) = wait_capped(serve, Duration::from_secs(120));
+    // The stalled worker outlives the run by design; reap it.
+    let _ = stalled.kill();
+    let _ = stalled.wait();
+    let _ = wait_capped(healthy, Duration::from_secs(30));
+    assert!(ok, "serve failed:\n{stderr}");
+    assert!(
+        stderr.contains("re-dealing"),
+        "expected at least one re-deal in stderr:\n{stderr}"
+    );
+    assert_identical(&mono, &out, &stderr);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Re-deal dedup: a worker that delivers every result twice exercises
+/// first-result-wins — the duplicate is acknowledged and discarded, never
+/// double-counted, and the output stays byte-identical.
+#[test]
+fn duplicate_results_are_discarded_not_double_counted() {
+    let dir = temp_dir("duplicate");
+    let mono = monolithic(&dir);
+    let (serve, addr, out) = start_serve(&dir, 2, 1, "60");
+    let worker = start_worker(&addr, &["--fault-duplicate"]);
+    let (ok, stderr) = wait_capped(serve, Duration::from_secs(120));
+    let _ = wait_capped(worker, Duration::from_secs(30));
+    assert!(ok, "serve failed:\n{stderr}");
+    assert!(
+        stderr.contains("duplicate result") && stderr.contains("discarded"),
+        "expected duplicate-discard lines in stderr:\n{stderr}"
+    );
+    assert_identical(&mono, &out, &stderr);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Cluster runs land in the runlog as `cluster:<grid>` records carrying
+/// per-lease telemetry, queryable like any other source.
+#[test]
+fn cluster_runs_record_lease_telemetry() {
+    let dir = temp_dir("runlog");
+    let rundir = dir.join("runs");
+    let out = dir.join("cluster.txt");
+    let addr_file = dir.join("addr.txt");
+    let serve = reproduce()
+        .args(["serve", GRID, "--shards", "2", "--deadline-secs", "0.3"])
+        .args(["--listen", "127.0.0.1:0"])
+        .arg("--addr-file")
+        .arg(&addr_file)
+        .arg("--runlog")
+        .arg(&rundir)
+        .args(SIZING)
+        .arg("--out")
+        .arg(&out)
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    let (ok, stderr) = wait_capped(serve, Duration::from_secs(120));
+    assert!(ok, "serve failed:\n{stderr}");
+    assert!(
+        stderr.contains("recorded") && stderr.contains("run record(s)"),
+        "expected a runlog confirmation in stderr:\n{stderr}"
+    );
+    // The records round-trip through `reproduce query`.
+    let q = reproduce()
+        .arg("query")
+        .arg(&rundir)
+        .output()
+        .expect("run query");
+    assert!(
+        q.status.success(),
+        "query failed: {}",
+        String::from_utf8_lossy(&q.stderr)
+    );
+    assert!(
+        !q.stdout.is_empty(),
+        "query over the cluster run dir printed nothing"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
