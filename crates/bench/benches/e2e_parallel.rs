@@ -1,0 +1,143 @@
+//! Optimistic parallel vs epoch-batched machine-loop throughput.
+//!
+//! The tentpole claim of the parallel-stepping PR, measured the same way
+//! `e2e_batched` measures batching: `Machine::run_batched` is the PR 5
+//! hot path kept verbatim, so one process interleaves pre (batched) and
+//! post (parallel, at the host's hardware parallelism capped to the core
+//! count) samples back-to-back per scheme — no binary juggling, no
+//! cross-run drift between a pair. Captured to `BENCH_parallel.json`
+//! via `CRITERION_SHIM_JSON`. The speedup is only visible on a
+//! multi-core host (on 1 vCPU the parallel loop degrades gracefully to
+//! near-batched throughput); byte-identity of the loops is enforced
+//! separately (tests/batched_differential.rs, CI parallel-verify).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dram::DramSystem;
+use mem_cache::Hierarchy;
+use sim::{build_scheme, scheme_label, EvalConfig, Machine, NmRatio, ScaledSystem, SchemeKind};
+use workloads::Workload;
+use workloads::{catalog, MpkiClass, PaperRow, PatternSpec, WorkloadKind, WorkloadSpec};
+
+const CORES: usize = 8;
+
+/// An L1-resident hot set: at 1/16 scale the 4 KB minimum hot region is
+/// exactly the scaled L1, so after warmup nearly every op speculates and
+/// rounds run wide (measured 99.97% speculated, full-budget windows) —
+/// the long-window regime where the dispatch gate opens and worker
+/// threads carry real work. The paper-mix group below is the opposite
+/// regime: line-length windows, gate closed, parity with batched.
+static RESIDENT: WorkloadSpec = WorkloadSpec {
+    name: "resident",
+    kind: WorkloadKind::MultiProgrammed,
+    class: MpkiClass::Low,
+    paper: PaperRow {
+        mpki: 0.1,
+        footprint_gb: 0.25,
+        traffic_gb: 0.5,
+    },
+    pattern: PatternSpec::Hotspot {
+        hot_bp: 1,
+        hot_pct: 100,
+    },
+    mem_every: 2,
+    write_pct: 20,
+};
+
+fn machine_for(spec: &'static WorkloadSpec, kind: SchemeKind, cfg: &EvalConfig) -> Machine {
+    let sys = ScaledSystem::new(NmRatio::OneGb, cfg.scale_den);
+    Machine::new(
+        CORES,
+        Hierarchy::new(sys.hierarchy()),
+        build_scheme(kind, &sys),
+        DramSystem::paper_default(),
+        Workload::build(spec, CORES, cfg.scale_den, cfg.seed),
+        cfg.seed,
+    )
+}
+
+fn machine(kind: SchemeKind, cfg: &EvalConfig) -> Machine {
+    machine_for(catalog::by_name("lbm").unwrap(), kind, cfg)
+}
+
+/// Worker threads for the parallel samples: the host's available
+/// parallelism, capped to the simulated core count (more workers than
+/// cores would idle by construction).
+fn threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(CORES)
+}
+
+fn e2e_parallel(c: &mut Criterion) {
+    let cfg = EvalConfig::smoke();
+    let threads = threads();
+    let mut group = c.benchmark_group("e2e_parallel");
+    group.sample_size(7);
+    for kind in SchemeKind::MAIN {
+        // Batched and parallel adjacent in time: the pair shares whatever
+        // load the box is under, so their ratio is meaningful even when
+        // absolute numbers drift between schemes.
+        group.bench_function(format!("batched/{}", scheme_label(kind)), |b| {
+            b.iter(|| machine(kind, &cfg).run_batched(cfg.instrs_per_core, cfg.batch))
+        });
+        group.bench_function(format!("parallel/{}", scheme_label(kind)), |b| {
+            b.iter(|| machine(kind, &cfg).run_parallel(cfg.instrs_per_core, cfg.batch, threads))
+        });
+    }
+    group.finish();
+
+    // The long-window regime: only here does the yield gate open and the
+    // worker pool carry real work, so this group is where a multi-core
+    // host shows the parallel loop's scaling (a 1-vCPU host degrades to
+    // batched-loop parity by construction).
+    let mut resident_cfg = EvalConfig::smoke();
+    resident_cfg.scale_den = 16;
+    resident_cfg.instrs_per_core = 400_000;
+    let mut group = c.benchmark_group("e2e_parallel_resident");
+    group.sample_size(7);
+    group.bench_function("batched/HYBRID2", |b| {
+        b.iter(|| {
+            machine_for(&RESIDENT, SchemeKind::Hybrid2, &resident_cfg)
+                .run_batched(resident_cfg.instrs_per_core, resident_cfg.batch)
+        })
+    });
+    group.bench_function("parallel/HYBRID2", |b| {
+        b.iter(|| {
+            machine_for(&RESIDENT, SchemeKind::Hybrid2, &resident_cfg).run_parallel(
+                resident_cfg.instrs_per_core,
+                resident_cfg.batch,
+                threads,
+            )
+        })
+    });
+    group.finish();
+
+    // Ops-per-run constants for deriving mem-ops/sec from the timings
+    // (identical across schemes and across the two loops — asserted).
+    let a = machine(SchemeKind::Hybrid2, &cfg).run_batched(cfg.instrs_per_core, cfg.batch);
+    let b =
+        machine(SchemeKind::Hybrid2, &cfg).run_parallel(cfg.instrs_per_core, cfg.batch, threads);
+    assert_eq!(a.mem_ops, b.mem_ops, "loops disagree on op count");
+    println!("e2e_parallel/mem_ops_per_run: {}", a.mem_ops);
+    let (r, t) = machine_for(&RESIDENT, SchemeKind::Hybrid2, &resident_cfg).run_parallel_telemetry(
+        resident_cfg.instrs_per_core,
+        resident_cfg.batch,
+        2,
+    );
+    println!("e2e_parallel_resident/mem_ops_per_run: {}", r.mem_ops);
+    println!(
+        "e2e_parallel_resident/speculated_fraction: {:.4} ({} of {} rounds dispatched)",
+        t.speculated_fraction(),
+        t.dispatched_rounds,
+        t.rounds
+    );
+    println!("e2e_parallel/machine_threads: {threads}");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = e2e_parallel
+}
+criterion_main!(benches);

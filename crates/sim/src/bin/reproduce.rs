@@ -20,6 +20,11 @@
 //!                     1 = per-op reference scheduling. Results are
 //!                     byte-identical for every value (CI `cmp`s batched
 //!                     vs `--batch 1` output)          [default: 4096]
+//!   --machine-threads <n>  scoped worker threads stepping each machine's
+//!                     cores concurrently (optimistic run-ahead windows);
+//!                     1 = today's single-threaded schedule. Results are
+//!                     byte-identical for every value (CI `cmp`s
+//!                     `--machine-threads 2/4` vs the reference) [default: 1]
 //!   --shard <K/N>     run only slice K of an N-way split of the grid and
 //!                     emit the machine-readable shard cells instead of the
 //!                     rendered reports (evalsuite / scenario grids only)
@@ -33,7 +38,8 @@
 //!   scenario <name|all>   run one named scenario or the whole catalog
 //!   --ratio <1gb|2gb|4gb> NM:FM ratio                     [default: 1gb]
 //!   --list                list the scenario catalog and exit
-//!   (--scale/--instrs/--seed/--threads/--batch/--shard/--runlog/--out
+//!   (--scale/--instrs/--seed/--threads/--batch/--machine-threads/
+//!   --shard/--runlog/--out
 //!   apply as above)
 //!
 //! merge subcommand (reassemble a sharded run):
@@ -58,7 +64,8 @@
 //!                         threshold for in-process takeover   [default: 60]
 //!   --listen <addr>       listen address              [default: 127.0.0.1:0]
 //!   --addr-file <file>    write the bound address here (ephemeral ports)
-//!   (--ratio/--scale/--instrs/--seed/--threads/--batch/--runlog/--out
+//!   (--ratio/--scale/--instrs/--seed/--threads/--batch/
+//!   --machine-threads/--runlog/--out
 //!   apply as above; output is byte-identical to the monolithic run)
 //!
 //! worker subcommand (one cluster worker process):
@@ -82,11 +89,12 @@ use sim::{cluster, runlog, scenario, EvalConfig, GridId, NmRatio};
 /// One-screen usage summary printed alongside every usage error.
 const USAGE: &str = "\
 usage: reproduce [--exp <id>] [--scale N] [--instrs N] [--seed N] [--threads N]
-                 [--batch N] [--smoke] [--shard K/N] [--runlog DIR]
-                 [--out FILE] [--list]
+                 [--batch N] [--machine-threads N] [--smoke] [--shard K/N]
+                 [--runlog DIR] [--out FILE] [--list]
        reproduce scenario <name|all> [--ratio 1gb|2gb|4gb] [--scale N]
                  [--instrs N] [--seed N] [--threads N] [--batch N]
-                 [--shard K/N] [--runlog DIR] [--out FILE] [--list]
+                 [--machine-threads N] [--shard K/N] [--runlog DIR]
+                 [--out FILE] [--list]
        reproduce merge <file>... [--out FILE]
        reproduce query <dir|file>... [--scheme TOK] [--workload NAME]
                  [--ratio 1gb|2gb|4gb] [--since-record N] [--out FILE]
@@ -94,7 +102,7 @@ usage: reproduce [--exp <id>] [--scale N] [--instrs N] [--seed N] [--threads N]
                  [--shards N] [--workers-expected K] [--deadline-secs S]
                  [--listen ADDR] [--addr-file FILE] [--ratio 1gb|2gb|4gb]
                  [--scale N] [--instrs N] [--seed N] [--threads N]
-                 [--batch N] [--runlog DIR] [--out FILE]
+                 [--batch N] [--machine-threads N] [--runlog DIR] [--out FILE]
        reproduce worker <host:port> [--threads N] [--fault-stall-secs S]
                  [--fault-duplicate]
 
@@ -153,8 +161,9 @@ fn flag_value<T: std::str::FromStr>(args: &[String], i: usize, name: &str) -> Re
 }
 
 /// Consumes one of the sizing flags shared by every run subcommand
-/// (`--scale/--instrs/--seed/--threads/--batch`) at `args[i]`, returning
-/// the next index, or `None` if `args[i]` is some other argument.
+/// (`--scale/--instrs/--seed/--threads/--batch/--machine-threads`) at
+/// `args[i]`, returning the next index, or `None` if `args[i]` is some
+/// other argument.
 fn parse_sizing_flag(
     cfg: &mut EvalConfig,
     args: &[String],
@@ -169,6 +178,14 @@ fn parse_sizing_flag(
             cfg.batch = flag_value(args, i, "--batch")?;
             if cfg.batch == 0 {
                 return Err("--batch must be at least 1 (1 = per-op reference scheduling)".into());
+            }
+        }
+        "--machine-threads" => {
+            cfg.machine_threads = flag_value(args, i, "--machine-threads")?;
+            if cfg.machine_threads == 0 {
+                return Err(
+                    "--machine-threads must be at least 1 (1 = single-threaded stepping)".into(),
+                );
             }
         }
         _ => return Ok(None),
@@ -575,22 +592,41 @@ fn parse_command(args: &[String]) -> Result<Command, String> {
     }
 }
 
+/// Latched once stdout's reader has gone away (EPIPE). Subsequent stdout
+/// writes become silent no-ops instead of repeating the error — and,
+/// crucially, instead of exiting on the spot: a subcommand that still has
+/// durable side effects queued after its stdout emit (`--runlog` record
+/// appends follow the report emit in every run subcommand) must complete
+/// them before the process exits 0. The old `process::exit(0)` here
+/// skipped those appends whenever `reproduce … --runlog d | head` closed
+/// the pipe early, silently losing the run's records.
+static STDOUT_PIPE_CLOSED: std::sync::atomic::AtomicBool =
+    std::sync::atomic::AtomicBool::new(false);
+
 /// Writes `text` to `--out` (or stdout), mapping I/O failures to an error
-/// string — except a broken pipe on stdout, which exits 0 immediately:
-/// `reproduce query … | head` closing the pipe early is a reader's choice,
-/// not a failure (and must never panic like a bare `print!` would).
+/// string — except a broken pipe on stdout, which is a reader's choice,
+/// not a failure (`reproduce query … | head` must never panic like a bare
+/// `print!` would): it latches [`STDOUT_PIPE_CLOSED`] and reports success,
+/// so the command finishes its remaining work and exits 0 normally.
 fn emit(out: &Option<String>, text: &str) -> Result<(), String> {
     use std::io::Write;
+    use std::sync::atomic::Ordering;
     match out {
         Some(path) => std::fs::write(path, text).map_err(|e| format!("cannot write {path:?}: {e}")),
         None => {
+            if STDOUT_PIPE_CLOSED.load(Ordering::Relaxed) {
+                return Ok(());
+            }
             let mut stdout = std::io::stdout().lock();
             let r = stdout
                 .write_all(text.as_bytes())
                 .and_then(|()| stdout.flush());
             match r {
                 Ok(()) => Ok(()),
-                Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => std::process::exit(0),
+                Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => {
+                    STDOUT_PIPE_CLOSED.store(true, Ordering::Relaxed);
+                    Ok(())
+                }
                 Err(e) => Err(format!("cannot write to stdout: {e}")),
             }
         }
@@ -1061,6 +1097,36 @@ mod tests {
         assert!(parse(&["--batch", "many"]).unwrap_err().contains("--batch"));
         assert!(parse(&["--batch", "0"]).unwrap_err().contains("at least 1"));
         assert!(parse(&["scenario", "all", "--batch", "0"])
+            .unwrap_err()
+            .contains("at least 1"));
+    }
+
+    #[test]
+    fn machine_threads_flag_parses_and_validates() {
+        match parse(&["--machine-threads", "4"]).unwrap() {
+            Command::Eval { cfg, .. } => assert_eq!(cfg.machine_threads, 4),
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&["scenario", "all", "--machine-threads", "2"]).unwrap() {
+            Command::Scenario { cfg, .. } => assert_eq!(cfg.machine_threads, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Default when the flag is absent: single-threaded stepping.
+        match parse(&[]).unwrap() {
+            Command::Eval { cfg, .. } => assert_eq!(cfg.machine_threads, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Bad values are usage errors (exit 2), never panics.
+        assert!(parse(&["--machine-threads"])
+            .unwrap_err()
+            .contains("--machine-threads"));
+        assert!(parse(&["--machine-threads", "many"])
+            .unwrap_err()
+            .contains("--machine-threads"));
+        assert!(parse(&["--machine-threads", "0"])
+            .unwrap_err()
+            .contains("at least 1"));
+        assert!(parse(&["scenario", "all", "--machine-threads", "0"])
             .unwrap_err()
             .contains("at least 1"));
     }

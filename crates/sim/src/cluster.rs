@@ -976,9 +976,19 @@ fn serve_worker_conn(
 
 /// Appends one run record per grid cell of a completed cluster run, with
 /// the accepted lease's wall clock and the slice's re-deal count attached
-/// (source `cluster:<grid>`). The dispatcher times leases, not cells, so
-/// the per-cell `wall_secs`/`mem_ops_per_sec` channels are recorded as
-/// zero rather than a nanosecond-clamped fiction.
+/// (source `cluster:<grid>`).
+///
+/// The dispatcher times leases, not cells, but a lease's wall clock and
+/// the mem-op counts of its cells are both known, so per-cell throughput
+/// is apportioned: each cell gets the slice's aggregate rate
+/// (`slice mem-ops / lease wall`) as `mem_ops_per_sec`, carried by a
+/// `wall_secs` share proportional to the cell's mem-ops (the shares sum
+/// back to the lease wall). Cells whose slice has no accepted wall
+/// reading — or no mem-ops at all — keep zeros rather than inheriting a
+/// nanosecond-clamped fiction; `reproduce query`'s `samples` column keeps
+/// those visible. Before this apportionment every cluster record carried
+/// `mem_ops_per_sec = 0.0` and silently vanished from query geomeans
+/// while still being counted in `records`.
 fn record_cluster(
     dir: &str,
     sc: &ServeConfig,
@@ -995,6 +1005,7 @@ fn record_cluster(
         };
         total
     ];
+    let mut slot_slice: Vec<Option<usize>> = vec![None; total];
     for (i, t) in telemetry.iter().enumerate() {
         let spec = ShardSpec {
             index: i + 1,
@@ -1002,24 +1013,42 @@ fn record_cluster(
         };
         for key in shard::shard_cell_keys(&kinds, &specs, spec) {
             per_slot[key.slot] = *t;
+            slot_slice[key.slot] = Some(i);
         }
     }
-    let source = format!("cluster:{}", grid_token(&sc.grid));
-    let mut log = runlog::RunLog::create(Path::new(dir), &source)?;
     let m = &merged.matrix;
-    let mut append = |kind: SchemeKind, slot: usize, r: &RunResult| -> Result<(), String> {
-        let mut rec = runlog::RunRecord::new(&source, kind, sc.ratio, &sc.cfg, r, 0.0)
-            .with_lease(per_slot[slot].wall_secs, per_slot[slot].redeals);
-        rec.mem_ops_per_sec = 0.0;
-        log.append(&rec)
-    };
+    let mut cells: Vec<(SchemeKind, usize, &RunResult)> = Vec::with_capacity(total);
     for (w, r) in m.baseline.iter().enumerate() {
-        append(SchemeKind::Baseline, w, r)?;
+        cells.push((SchemeKind::Baseline, w, r));
     }
     for (si, row) in m.schemes.iter().enumerate() {
         for (w, r) in row.runs.iter().enumerate() {
-            append(row.kind, (si + 1) * n + w, r)?;
+            cells.push((row.kind, (si + 1) * n + w, r));
         }
+    }
+    let mut slice_ops = vec![0u64; telemetry.len()];
+    for (_, slot, r) in &cells {
+        if let Some(s) = slot_slice[*slot] {
+            slice_ops[s] += r.mem_ops;
+        }
+    }
+
+    let source = format!("cluster:{}", grid_token(&sc.grid));
+    let mut log = runlog::RunLog::create(Path::new(dir), &source)?;
+    for (kind, slot, r) in cells {
+        let t = per_slot[slot];
+        let wall = match slot_slice[slot] {
+            Some(s) if t.wall_secs > 0.0 && slice_ops[s] > 0 => {
+                t.wall_secs * (r.mem_ops as f64 / slice_ops[s] as f64)
+            }
+            _ => 0.0,
+        };
+        let mut rec = runlog::RunRecord::new(&source, kind, sc.ratio, &sc.cfg, r, wall)
+            .with_lease(t.wall_secs, t.redeals);
+        if wall <= 0.0 {
+            rec.mem_ops_per_sec = 0.0;
+        }
+        log.append(&rec)?;
     }
     eprintln!("recorded {total} run record(s) to {}", log.path().display());
     Ok(())
@@ -1204,6 +1233,9 @@ fn run_lease(
         seed: job.seed,
         threads: wc.threads,
         batch: job.batch as usize,
+        // Machine-level stepping is a local scheduling choice, not part
+        // of the leased work description (results are identical).
+        machine_threads: 1,
     };
     let stop = AtomicBool::new(false);
     let run = thread::scope(|s| {

@@ -234,9 +234,10 @@ pub fn ops_per_sec(mem_ops: u64, secs: f64) -> f64 {
 }
 
 /// FNV-1a digest over the *result-affecting* knobs (ratio, scale,
-/// instrs, seed). Threads and batch are deliberately excluded — the
-/// scheduler's byte-identity contracts make them irrelevant to results,
-/// so records from a `--batch 1` reference run pair with batched runs.
+/// instrs, seed). Threads, batch and machine-threads are deliberately
+/// excluded — the scheduler's byte-identity contracts make them
+/// irrelevant to results, so records from a `--batch 1` reference run
+/// pair with batched or parallel-stepped runs.
 pub fn config_digest(ratio: NmRatio, cfg: &EvalConfig) -> u64 {
     // Exhaustive destructure: adding an EvalConfig field forces a
     // decision on whether it affects results.
@@ -246,6 +247,7 @@ pub fn config_digest(ratio: NmRatio, cfg: &EvalConfig) -> u64 {
         seed,
         threads: _,
         batch: _,
+        machine_threads: _,
     } = *cfg;
     let canon = format!(
         "ratio={};scale={scale_den};instrs={instrs_per_core};seed={seed}",
@@ -678,9 +680,13 @@ fn fops(v: f64) -> String {
     format!("{v:.0}")
 }
 
-/// Aggregate of one scheme's matched values: count plus geomean/min/max
-/// over the finite, positive samples.
-fn summarize(vals: &[f64]) -> [String; 4] {
+/// Aggregate of one scheme's matched values: total count, the count of
+/// finite positive samples actually aggregated, then geomean/min/max over
+/// those samples. The two counts render side by side so a store whose
+/// records carry no throughput reading (for example zero-rate rows from an
+/// old cluster dispatcher) shows "counted 10, aggregated 3" instead of
+/// passing a geomean of 3 values off as a geomean of 10.
+fn summarize(vals: &[f64]) -> [String; 5] {
     let clean: Vec<f64> = vals
         .iter()
         .copied()
@@ -689,6 +695,7 @@ fn summarize(vals: &[f64]) -> [String; 4] {
     let fmt = |v: Option<f64>, f: fn(f64) -> String| v.map(f).unwrap_or_else(|| "-".to_owned());
     [
         vals.len().to_string(),
+        clean.len().to_string(),
         fmt(geomean(clean.iter().copied()), fops),
         fmt(clean.iter().copied().reduce(f64::min), fops),
         fmt(clean.iter().copied().reduce(f64::max), fops),
@@ -723,14 +730,15 @@ pub fn run_query(store: &Store, q: &Query) -> Vec<Report> {
         vec![
             "scheme",
             "records",
+            "samples",
             "geomean ops/s",
             "min ops/s",
             "max ops/s",
         ],
     );
     for (tok, vals) in &rates {
-        let [count, gm, min, max] = summarize(vals);
-        thr.push_row(vec![tok.clone(), count, gm, min, max]);
+        let [count, samples, gm, min, max] = summarize(vals);
+        thr.push_row(vec![tok.clone(), count, samples, gm, min, max]);
     }
     thr.push_note(format!(
         "records: {} of {} from {} file(s)",

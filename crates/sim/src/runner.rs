@@ -77,6 +77,12 @@ pub struct EvalConfig {
     /// byte-identical results — this is a scheduling knob, never a
     /// semantic one. Default [`DEFAULT_BATCH`].
     pub batch: usize,
+    /// Scoped worker threads stepping one machine's cores concurrently
+    /// (`--machine-threads`); 1 = today's single-threaded epoch-batched
+    /// schedule. Like `batch`, a scheduling knob: every value yields
+    /// byte-identical results (pinned by `tests/batched_differential.rs`),
+    /// so it is excluded from the run-record config digest. Default 1.
+    pub machine_threads: usize,
 }
 
 impl EvalConfig {
@@ -93,6 +99,7 @@ impl EvalConfig {
                 .map(|n| n.get())
                 .unwrap_or(4),
             batch: DEFAULT_BATCH,
+            machine_threads: 1,
         }
     }
 
@@ -105,6 +112,7 @@ impl EvalConfig {
             seed: 7,
             threads: 4,
             batch: DEFAULT_BATCH,
+            machine_threads: 1,
         }
     }
 }
@@ -244,7 +252,7 @@ pub fn run_one(
         workload,
         cfg.seed,
     );
-    machine.run_batched(cfg.instrs_per_core, cfg.batch)
+    machine.run_parallel(cfg.instrs_per_core, cfg.batch, cfg.machine_threads)
 }
 
 /// [`run_one`] plus the wall-clock seconds the run took — the timing the

@@ -75,6 +75,116 @@ fn query_into_closed_pipe_exits_zero() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// A scratch directory under `target/` (works in sandboxes without /tmp).
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/test-tmp")
+        .join(format!("cli-pipe-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// Cheap sizing shared by the report-producing runs below.
+const SIZING: [&str; 6] = ["--scale", "1024", "--instrs", "2000", "--threads", "1"];
+
+#[test]
+fn merge_into_closed_pipe_exits_zero() {
+    let dir = temp_dir("merge");
+    let mut shards = Vec::new();
+    for part in ["1/2", "2/2"] {
+        let path = dir.join(format!("shard-{}.tsv", part.replace('/', "of")));
+        let status = reproduce()
+            .args(["scenario", "stream-chase"])
+            .args(SIZING)
+            .args(["--shard", part])
+            .arg("--out")
+            .arg(&path)
+            .stderr(Stdio::null())
+            .status()
+            .expect("write shard file");
+        assert!(status.success(), "shard run failed: {status}");
+        shards.push(path.to_str().expect("utf-8 path").to_owned());
+    }
+    let args: Vec<&str> = std::iter::once("merge")
+        .chain(shards.iter().map(String::as_str))
+        .collect();
+    let (code, stderr) = run_with_closed_stdout(&args);
+    assert_eq!(code, Some(0), "stderr:\n{stderr}");
+    assert!(!stderr.contains("panicked"), "stderr:\n{stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The dispatcher's report lands on stdout *after* the grid completes via
+/// in-process takeover (zero workers, sub-second deadline) — a closed
+/// pipe at that point must still be a clean exit, not a panic or a
+/// dispatcher hang.
+#[test]
+fn serve_into_closed_pipe_exits_zero() {
+    let (code, stderr) = run_with_closed_stdout(&[
+        "serve",
+        "scenario:stream-chase",
+        "--shards",
+        "2",
+        "--deadline-secs",
+        "0.3",
+        "--listen",
+        "127.0.0.1:0",
+        "--scale",
+        "1024",
+        "--instrs",
+        "2000",
+        "--threads",
+        "1",
+    ]);
+    assert_eq!(code, Some(0), "stderr:\n{stderr}");
+    assert!(!stderr.contains("panicked"), "stderr:\n{stderr}");
+}
+
+#[test]
+fn experiment_report_into_closed_pipe_exits_zero() {
+    let mut args = vec!["--exp", "fig12"];
+    args.extend_from_slice(&SIZING);
+    let (code, stderr) = run_with_closed_stdout(&args);
+    assert_eq!(code, Some(0), "stderr:\n{stderr}");
+    assert!(!stderr.contains("panicked"), "stderr:\n{stderr}");
+}
+
+/// Regression: an early-exiting reader must not cost run records. The
+/// old `emit` called `process::exit(0)` on EPIPE, so `--runlog` appends
+/// scheduled after the report never happened — records silently vanished
+/// exactly when output was piped through `head`. Now the broken pipe is
+/// latched, later stdout writes are skipped, and every record still
+/// lands on disk.
+#[test]
+fn runlog_records_survive_closed_stdout() {
+    let dir = temp_dir("runlog");
+    let rundir = dir.join("runs");
+    let rundir_str = rundir.to_str().expect("utf-8 path");
+    let mut args = vec!["scenario", "stream-chase"];
+    args.extend_from_slice(&SIZING);
+    args.extend_from_slice(&["--runlog", rundir_str]);
+    let (code, stderr) = run_with_closed_stdout(&args);
+    assert_eq!(code, Some(0), "stderr:\n{stderr}");
+    assert!(!stderr.contains("panicked"), "stderr:\n{stderr}");
+
+    let mut record_files = 0usize;
+    for entry in std::fs::read_dir(&rundir).expect("run dir exists despite closed stdout") {
+        let path = entry.expect("dir entry").path();
+        if path.to_string_lossy().ends_with(".runlog.tsv") {
+            let contents = std::fs::read_to_string(&path).expect("record file reads");
+            assert!(
+                contents.lines().count() > 1,
+                "record file {} holds no records",
+                path.display()
+            );
+            record_files += 1;
+        }
+    }
+    assert!(record_files > 0, "no run-record files were written");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// The counterpart guarantee: a *real* stdout failure (not EPIPE) still
 /// exits 1 via the normal error path. `--out` into a nonexistent
 /// directory exercises the same `emit` plumbing.

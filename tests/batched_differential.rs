@@ -134,8 +134,9 @@ fn machine(kind: SchemeKind, spec: &'static WorkloadSpec, seed: u64, os_hints: b
     }
 }
 
-/// Reference vs batched at several batch sizes, with page-placement digest
-/// equality on top of the full result comparison.
+/// Reference vs batched at several batch sizes — and, for each batch, vs
+/// the optimistic parallel loop at 2 and 4 machine threads — with
+/// page-placement digest equality on top of the full result comparison.
 fn differential(
     kind: SchemeKind,
     spec: &'static WorkloadSpec,
@@ -156,6 +157,17 @@ fn differential(
             m.page_table_digest(),
             "{ctx}: first-touch allocation order diverged"
         );
+        for threads in [2, 4] {
+            let mut p = machine(kind, spec, seed, os_hints);
+            let got = p.run_parallel(instrs, batch, threads);
+            let ctx = format!("{ctx}/machine-threads {threads}");
+            assert_bitwise_eq(&want, &got, &ctx);
+            assert_eq!(
+                reference.page_table_digest(),
+                p.page_table_digest(),
+                "{ctx}: first-touch allocation order diverged"
+            );
+        }
     }
 }
 
@@ -260,13 +272,16 @@ mod proptests {
 
     proptest! {
         /// First-touch allocation order — and with it every result field —
-        /// is invariant under the batch size, for random (workload, seed,
-        /// batch, window) tuples.
+        /// is invariant under the batch size AND the machine thread count,
+        /// for random (workload, seed, batch, threads, window) tuples. One
+        /// sweep holds reference, batched, and parallel loops to float-bit
+        /// equality.
         #[test]
         fn first_touch_order_invariant_under_batch(
             wl in 0usize..WORKLOADS.len(),
             seed in 0u64..1_000,
             batch in 1usize..=96,
+            threads in 1usize..=4,
             instrs in 1_000u64..4_000,
         ) {
             let spec = catalog::by_name(WORKLOADS[wl]).unwrap();
@@ -285,6 +300,20 @@ mod proptests {
             prop_assert_eq!(want.fm_traffic, got.fm_traffic);
             prop_assert_eq!(want.nm_traffic, got.nm_traffic);
             prop_assert_eq!(want.energy_mj.to_bits(), got.energy_mj.to_bits());
+
+            let mut parallel = machine(SchemeKind::Hybrid2, spec, seed, false);
+            let par = parallel.run_parallel(instrs, batch, threads);
+            prop_assert_eq!(
+                reference.page_table_digest(),
+                parallel.page_table_digest(),
+                "allocation order diverged: {} seed {} batch {} threads {}",
+                spec.name, seed, batch, threads
+            );
+            prop_assert_eq!(want.footprint, par.footprint);
+            prop_assert_eq!(want.cycles, par.cycles);
+            prop_assert_eq!(want.fm_traffic, par.fm_traffic);
+            prop_assert_eq!(want.nm_traffic, par.nm_traffic);
+            prop_assert_eq!(want.energy_mj.to_bits(), par.energy_mj.to_bits());
         }
     }
 }

@@ -161,3 +161,83 @@ fn query_reports_are_identical_for_any_file_order() {
         count = 2 * (m.schemes.len() + 1) * m.workloads.len()
     )));
 }
+
+/// Regression: a store mixing rate-carrying records with zero-rate rows
+/// (the shape an old cluster dispatcher wrote — `mem_ops_per_sec = 0.0`
+/// on every leased cell) must *count* the zero rows in `records` while
+/// *excluding* them from the geomean/min/max, and say so via the
+/// `samples` column. Before the column existed, a geomean over 3 samples
+/// silently passed itself off as a geomean over 10 records.
+#[test]
+fn zero_rate_records_are_counted_but_not_aggregated() {
+    let cfg = tiny_cfg();
+    let ratio = NmRatio::OneGb;
+    let scens = scenario::select("quiet-burst").unwrap();
+    let (m, secs) = scenario::run_grid_timed(&scens, ratio, &cfg);
+
+    let dir = run_dir("runlog-zero-rate");
+    let mut log = RunLog::create(&dir, "mixed-writer").expect("log opens");
+    runlog::record_matrix(&mut log, "scenario:quiet-burst", &m, &secs, &cfg).expect("appends");
+
+    // Query over the clean store first: its aggregates are the truth the
+    // mixed store must reproduce.
+    let inputs = runlog::dir_inputs(&dir).expect("run dir lists");
+    let clean = runlog::read_store(&inputs).expect("store reads");
+    let clean_thr = runlog::run_query(&clean, &runlog::Query::default())
+        .into_iter()
+        .next()
+        .expect("throughput report");
+
+    // Append a zero-rate twin of every record, as a cluster run with no
+    // usable wall reading would have.
+    for rec in &clean.records {
+        let mut zero = rec.clone();
+        zero.wall_secs = 0.0;
+        zero.mem_ops_per_sec = 0.0;
+        log.append(&zero).expect("zero-rate twin appends");
+    }
+
+    let inputs = runlog::dir_inputs(&dir).expect("run dir lists");
+    let mixed = runlog::read_store(&inputs).expect("store reads");
+    assert_eq!(mixed.records.len(), 2 * clean.records.len());
+    let mixed_thr = runlog::run_query(&mixed, &runlog::Query::default())
+        .into_iter()
+        .next()
+        .expect("throughput report");
+
+    assert_eq!(
+        mixed_thr.header,
+        [
+            "scheme",
+            "records",
+            "samples",
+            "geomean ops/s",
+            "min ops/s",
+            "max ops/s"
+        ],
+        "samples column sits between records and the aggregates"
+    );
+    assert_eq!(mixed_thr.rows.len(), clean_thr.rows.len(), "same schemes");
+    for (mixed_row, clean_row) in mixed_thr.rows.iter().zip(&clean_thr.rows) {
+        let scheme = &mixed_row[0];
+        assert_eq!(scheme, &clean_row[0]);
+        let counted: usize = mixed_row[1].parse().expect("records column is a count");
+        let sampled: usize = mixed_row[2].parse().expect("samples column is a count");
+        assert_eq!(
+            counted,
+            2 * sampled,
+            "{scheme}: zero rows counted, not sampled"
+        );
+        assert_eq!(
+            mixed_row[3..],
+            clean_row[3..],
+            "{scheme}: zero-rate rows must not move geomean/min/max"
+        );
+    }
+
+    // The CI-grepped note keeps its exact shape.
+    assert!(mixed_thr.render().contains(&format!(
+        "records: {count} of {count} from 1 file(s)",
+        count = mixed.records.len()
+    )));
+}
