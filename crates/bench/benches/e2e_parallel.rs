@@ -26,8 +26,8 @@ const CORES: usize = 8;
 /// the long-window regime where the dispatch gate opens and worker
 /// threads carry real work. The paper-mix group below is the opposite
 /// regime: line-length windows, gate closed, parity with batched.
-static RESIDENT: WorkloadSpec = WorkloadSpec {
-    name: "resident",
+static RESIDENT: std::sync::LazyLock<WorkloadSpec> = std::sync::LazyLock::new(|| WorkloadSpec {
+    name: "resident".into(),
     kind: WorkloadKind::MultiProgrammed,
     class: MpkiClass::Low,
     paper: PaperRow {
@@ -41,9 +41,9 @@ static RESIDENT: WorkloadSpec = WorkloadSpec {
     },
     mem_every: 2,
     write_pct: 20,
-};
+});
 
-fn machine_for(spec: &'static WorkloadSpec, kind: SchemeKind, cfg: &EvalConfig) -> Machine {
+fn machine_for(spec: &WorkloadSpec, kind: SchemeKind, cfg: &EvalConfig) -> Machine {
     let sys = ScaledSystem::new(NmRatio::OneGb, cfg.scale_den);
     Machine::new(
         CORES,

@@ -11,7 +11,7 @@ fn bench(c: &mut Criterion) {
     let m = main_matrix(NmRatio::OneGb, &bench_cfg(), true);
     print_reports(&[fig13_per_benchmark(&m)]);
     let cfg = kernel_cfg();
-    let specs = [catalog::by_name("xalanc").unwrap()];
+    let specs = [catalog::by_name("xalanc").unwrap().clone()];
     c.bench_function("fig13/two_scheme_matrix", |b| {
         b.iter(|| {
             Matrix::run(

@@ -19,7 +19,7 @@ fn bench(c: &mut Criterion) {
         fig18_energy(&m),
     ]);
     let cfg = kernel_cfg();
-    let specs = [catalog::by_name("lbm").unwrap()];
+    let specs = [catalog::by_name("lbm").unwrap().clone()];
     c.bench_function("fig15_18/tagless_vs_hybrid2", |b| {
         b.iter(|| {
             Matrix::run(

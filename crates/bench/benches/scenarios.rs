@@ -27,7 +27,7 @@ fn scenario_throughput(c: &mut Criterion) {
         instrs_per_core: 100_000,
         ..EvalConfig::smoke()
     };
-    let scens = scenario::select("all").expect("catalog is non-empty");
+    let scens = scenario::select(scenarios::builtin(), "all").expect("catalog is non-empty");
     let mut grid = c.benchmark_group("scenario_grid");
     grid.sample_size(3);
     grid.bench_function("matrix/all8_main6", |b| {

@@ -37,7 +37,14 @@
 //! scenario subcommand (phased / multi-program workloads):
 //!   scenario <name|all>   run one named scenario or the whole catalog
 //!   --ratio <1gb|2gb|4gb> NM:FM ratio                     [default: 1gb]
-//!   --list                list the scenario catalog and exit
+//!   --spec <file>         use the catalog compiled from a declarative
+//!                         `.scn` spec file instead of the built-ins
+//!                         (see README "Declarative scenarios"); spec
+//!                         errors report file:line:col and exit 2
+//!   --generate <n>        use a generated catalog of <n> scenarios
+//!                         (pure function of <n> and --seed; the first
+//!                         100 outputs at seed 2020 are pinned in CI)
+//!   --list                list the active scenario catalog and exit
 //!   (--scale/--instrs/--seed/--threads/--batch/--machine-threads/
 //!   --shard/--runlog/--out
 //!   apply as above)
@@ -56,8 +63,10 @@
 //!   (--out applies as above)
 //!
 //! serve subcommand (fault-tolerant cluster dispatcher, see `sim::cluster`):
-//!   serve <grid>          dispatch a grid (scenario:<name|all>, eval:smoke
-//!                         or eval:full) as leased shard slices to workers
+//!   serve <grid>          dispatch a grid (scenario:<name|all>, eval:smoke,
+//!                         eval:full, generated:<count>:<seed>:<name|all>
+//!                         or specfile:<path>:<name|all>) as leased shard
+//!                         slices to workers
 //!   --shards <n>          how many slices to deal              [default: 4]
 //!   --workers-expected <k> informational worker count for logs [default: 1]
 //!   --deadline-secs <s>   per-lease deadline; also the no-progress
@@ -91,14 +100,17 @@ const USAGE: &str = "\
 usage: reproduce [--exp <id>] [--scale N] [--instrs N] [--seed N] [--threads N]
                  [--batch N] [--machine-threads N] [--smoke] [--shard K/N]
                  [--runlog DIR] [--out FILE] [--list]
-       reproduce scenario <name|all> [--ratio 1gb|2gb|4gb] [--scale N]
+       reproduce scenario <name|all> [--spec FILE | --generate N]
+                 [--ratio 1gb|2gb|4gb] [--scale N]
                  [--instrs N] [--seed N] [--threads N] [--batch N]
                  [--machine-threads N] [--shard K/N] [--runlog DIR]
                  [--out FILE] [--list]
        reproduce merge <file>... [--out FILE]
        reproduce query <dir|file>... [--scheme TOK] [--workload NAME]
                  [--ratio 1gb|2gb|4gb] [--since-record N] [--out FILE]
-       reproduce serve <scenario:<name|all>|eval:smoke|eval:full>
+       reproduce serve <scenario:<name|all>|eval:smoke|eval:full
+                 |generated:<count>:<seed>:<name|all>
+                 |specfile:<path>:<name|all>>
                  [--shards N] [--workers-expected K] [--deadline-secs S]
                  [--listen ADDR] [--addr-file FILE] [--ratio 1gb|2gb|4gb]
                  [--scale N] [--instrs N] [--seed N] [--threads N]
@@ -125,6 +137,10 @@ enum Command {
     /// `scenario <name|all> …`.
     Scenario {
         selector: Option<String>,
+        /// `--spec FILE`: compile the catalog from a `.scn` file.
+        spec: Option<String>,
+        /// `--generate N`: generate the catalog from `(N, cfg.seed)`.
+        generate: Option<usize>,
         ratio: NmRatio,
         cfg: EvalConfig,
         shard: Option<ShardSpec>,
@@ -225,6 +241,8 @@ fn parse_scenario(args: &[String]) -> Result<Command, String> {
     let mut cfg = EvalConfig::default_eval();
     let mut ratio = NmRatio::OneGb;
     let mut selector: Option<String> = None;
+    let mut spec: Option<String> = None;
+    let mut generate: Option<usize> = None;
     let mut sh = None;
     let mut rl = None;
     let mut out = None;
@@ -246,6 +264,19 @@ fn parse_scenario(args: &[String]) -> Result<Command, String> {
                 ratio = shard::parse_ratio_token(v)?;
                 i += 2;
             }
+            "--spec" => {
+                let v = args.get(i + 1).ok_or("--spec needs a .scn file path")?;
+                spec = Some(v.clone());
+                i += 2;
+            }
+            "--generate" => {
+                let n: usize = flag_value(args, i, "--generate")?;
+                if n == 0 {
+                    return Err("--generate must be at least 1 scenario".to_owned());
+                }
+                generate = Some(n);
+                i += 2;
+            }
             "--list" => {
                 list = true;
                 i += 1;
@@ -257,20 +288,32 @@ fn parse_scenario(args: &[String]) -> Result<Command, String> {
             other => return Err(format!("unknown scenario argument {other:?}")),
         }
     }
+    if spec.is_some() && generate.is_some() {
+        return Err("--spec and --generate are mutually exclusive".to_owned());
+    }
     if selector.is_none() && !list {
         return Err("scenario needs a selector (<name|all>) or --list".to_owned());
     }
-    // Unknown names are usage errors (exit 2), same as unknown experiment
-    // ids — validate here so the run path never sees a bad selector.
+    // Resolve the active catalog now so malformed `.scn` files and unknown
+    // names are usage errors (exit 2), same as unknown experiment ids —
+    // the run path never sees a bad selector. Spec-file errors carry
+    // file:line:col positions from the compiler.
+    let cat = load_catalog(&spec, generate, cfg.seed)?;
     if let Some(sel) = &selector {
-        if scenario::select(sel).is_none() {
+        if scenario::select(&cat, sel).is_none() {
+            let hint = cat
+                .nearest(sel)
+                .map(|near| format!(" (did you mean {near:?}?)"))
+                .unwrap_or_default();
             return Err(format!(
-                "unknown scenario {sel:?}; run `reproduce scenario --list` for the catalog"
+                "unknown scenario {sel:?}{hint}; run `reproduce scenario --list` for the catalog"
             ));
         }
     }
     Ok(Command::Scenario {
         selector,
+        spec,
+        generate,
         ratio,
         cfg,
         shard: sh,
@@ -278,6 +321,23 @@ fn parse_scenario(args: &[String]) -> Result<Command, String> {
         out,
         list,
     })
+}
+
+/// The catalog a `scenario` invocation runs against: compiled from a
+/// `--spec` file, generated from `(--generate N, --seed)`, or a copy of
+/// the built-ins.
+fn load_catalog(
+    spec: &Option<String>,
+    generate: Option<usize>,
+    seed: u64,
+) -> Result<workloads::Catalog, String> {
+    match (spec, generate) {
+        (Some(path), _) => {
+            workloads::Catalog::from_scn_file(std::path::Path::new(path)).map_err(|e| e.to_string())
+        }
+        (None, Some(n)) => Ok(workloads::Catalog::generate(n, seed)),
+        (None, None) => Ok(workloads::scenarios::builtin().clone()),
+    }
 }
 
 /// The value of flag `args[i]` as a positive, finite duration in seconds
@@ -371,16 +431,14 @@ fn parse_serve(args: &[String]) -> Result<Command, String> {
             }
         }
     }
-    let grid = grid.ok_or("serve needs a grid (scenario:<name|all>, eval:smoke or eval:full)")?;
-    // Unknown scenario names are usage errors (exit 2), same as the
-    // scenario subcommand's own selector validation.
-    if let GridId::Scenario { selector } = &grid {
-        if scenario::select(selector).is_none() {
-            return Err(format!(
-                "unknown scenario {selector:?}; run `reproduce scenario --list` for the catalog"
-            ));
-        }
-    }
+    let grid = grid.ok_or(
+        "serve needs a grid (scenario:<name|all>, eval:smoke, eval:full, \
+         generated:<count>:<seed>:<name|all> or specfile:<path>:<name|all>)",
+    )?;
+    // Bad grids — unknown scenario names, unreadable or malformed spec
+    // files — are usage errors (exit 2), same as the scenario
+    // subcommand's own selector validation.
+    shard::validate_grid(&grid)?;
     Ok(Command::Serve {
         sc: cluster::ServeConfig {
             grid,
@@ -640,6 +698,12 @@ fn grid_source(grid: &GridId) -> String {
         GridId::Eval { smoke } => {
             format!("evalsuite:{}", if *smoke { "smoke" } else { "full" })
         }
+        GridId::SpecFile { path, selector } => format!("specfile:{path}:{selector}"),
+        GridId::Generated {
+            count,
+            seed,
+            selector,
+        } => format!("generated:{count}:{seed}:{selector}"),
     }
 }
 
@@ -762,8 +826,11 @@ fn run_merge(files: &[String], out: &Option<String>) -> Result<(), String> {
 }
 
 /// Runs `reproduce scenario …` after parsing.
+#[allow(clippy::too_many_arguments)]
 fn run_scenario(
     selector: &Option<String>,
+    spec: &Option<String>,
+    generate: Option<usize>,
     ratio: NmRatio,
     cfg: &EvalConfig,
     sh: Option<ShardSpec>,
@@ -771,13 +838,28 @@ fn run_scenario(
     out: &Option<String>,
     list: bool,
 ) -> Result<(), String> {
+    let cat = load_catalog(spec, generate, cfg.seed)?;
     if list {
-        return emit(out, &format!("{}\n", scenario::catalog_report().render()));
+        return emit(
+            out,
+            &format!("{}\n", scenario::catalog_report(&cat).render()),
+        );
     }
     let selector = selector.as_deref().expect("parse guarantees a selector");
-    let scens = scenario::select(selector).expect("parse validated the selector");
-    let grid = GridId::Scenario {
-        selector: selector.to_owned(),
+    let scens = scenario::select(&cat, selector).expect("parse validated the selector");
+    let grid = match (spec, generate) {
+        (Some(path), _) => GridId::SpecFile {
+            path: path.clone(),
+            selector: selector.to_owned(),
+        },
+        (None, Some(count)) => GridId::Generated {
+            count,
+            seed: cfg.seed,
+            selector: selector.to_owned(),
+        },
+        (None, None) => GridId::Scenario {
+            selector: selector.to_owned(),
+        },
     };
     if let Some(sh) = sh {
         return run_shard_cmd(&grid, ratio, cfg, sh, runlog_dir, out);
@@ -878,13 +960,17 @@ fn main() {
         } => run_eval(exp, cfg, *smoke, *shard, runlog, out, *list),
         Command::Scenario {
             selector,
+            spec,
+            generate,
             ratio,
             cfg,
             shard,
             runlog,
             out,
             list,
-        } => run_scenario(selector, *ratio, cfg, *shard, runlog, out, *list),
+        } => run_scenario(
+            selector, spec, *generate, *ratio, cfg, *shard, runlog, out, *list,
+        ),
         Command::Merge { files, out } => run_merge(files, out),
         Command::Query { inputs, query, out } => run_query_cmd(inputs, query, out),
         Command::Serve { sc, out } => cluster::serve(sc).and_then(|text| emit(out, &text)),

@@ -96,30 +96,74 @@ const WORKER_REPLY_LIMIT: Duration = Duration::from_secs(30);
 /// KB; this cap only bounds a corrupt or malicious length header).
 const MAX_PAYLOAD_BYTES: u64 = 64 << 20;
 
-/// Stable CLI/wire token of a grid: `scenario:<selector>`, `eval:smoke`
-/// or `eval:full`.
+/// Stable CLI/wire token of a grid: `scenario:<selector>`, `eval:smoke`,
+/// `eval:full`, `generated:<count>:<seed>:<selector>` or
+/// `specfile:<path>:<selector>` (the selector follows the *last* colon,
+/// so paths containing colons survive the round trip).
 pub fn grid_token(grid: &GridId) -> String {
     match grid {
         GridId::Scenario { selector } => format!("scenario:{selector}"),
         GridId::Eval { smoke: true } => "eval:smoke".to_owned(),
         GridId::Eval { smoke: false } => "eval:full".to_owned(),
+        GridId::SpecFile { path, selector } => format!("specfile:{path}:{selector}"),
+        GridId::Generated {
+            count,
+            seed,
+            selector,
+        } => format!("generated:{count}:{seed}:{selector}"),
     }
+}
+
+/// True for a selector token safe to embed in grid tokens and shard
+/// headers (non-empty, no whitespace or separators).
+fn clean_token(sel: &str) -> bool {
+    !sel.is_empty() && !sel.contains(['\t', '\n', '\r', ' '])
 }
 
 /// Parses a [`grid_token`] back to the grid id. (Whether a scenario
 /// selector actually exists is checked when the grid is resolved.)
 pub fn parse_grid_token(s: &str) -> Result<GridId, String> {
+    let err = || {
+        format!(
+            "unknown grid {s:?}; use scenario:<name|all>, eval:smoke, eval:full, \
+             generated:<count>:<seed>:<name|all> or specfile:<path>:<name|all>"
+        )
+    };
     match s.split_once(':') {
-        Some(("scenario", sel)) if !sel.is_empty() && !sel.contains(['\t', '\n', '\r', ' ']) => {
-            Ok(GridId::Scenario {
+        Some(("scenario", sel)) if clean_token(sel) => Ok(GridId::Scenario {
+            selector: sel.to_owned(),
+        }),
+        Some(("eval", "smoke")) => Ok(GridId::Eval { smoke: true }),
+        Some(("eval", "full")) => Ok(GridId::Eval { smoke: false }),
+        Some(("generated", rest)) => {
+            let mut it = rest.split(':');
+            let (Some(count), Some(seed), Some(sel), None) =
+                (it.next(), it.next(), it.next(), it.next())
+            else {
+                return Err(err());
+            };
+            if !clean_token(sel) {
+                return Err(err());
+            }
+            Ok(GridId::Generated {
+                count: count.parse().map_err(|_| err())?,
+                seed: seed.parse().map_err(|_| err())?,
                 selector: sel.to_owned(),
             })
         }
-        Some(("eval", "smoke")) => Ok(GridId::Eval { smoke: true }),
-        Some(("eval", "full")) => Ok(GridId::Eval { smoke: false }),
-        _ => Err(format!(
-            "unknown grid {s:?}; use scenario:<name|all>, eval:smoke or eval:full"
-        )),
+        Some(("specfile", rest)) => {
+            // The selector follows the last colon; the path keeps any
+            // colons of its own.
+            let (path, sel) = rest.rsplit_once(':').ok_or_else(err)?;
+            if path.is_empty() || path.contains(['\t', '\n', '\r']) || !clean_token(sel) {
+                return Err(err());
+            }
+            Ok(GridId::SpecFile {
+                path: path.to_owned(),
+                selector: sel.to_owned(),
+            })
+        }
+        _ => Err(err()),
     }
 }
 

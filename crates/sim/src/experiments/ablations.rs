@@ -22,18 +22,14 @@ use crate::scale::{NmRatio, ScaledSystem};
 
 use super::workload_set;
 
-fn run_custom(
-    cfg: &EvalConfig,
-    h2: Hybrid2Config,
-    spec: &'static workloads::WorkloadSpec,
-) -> RunResult {
+fn run_custom(cfg: &EvalConfig, h2: Hybrid2Config, spec: &workloads::WorkloadSpec) -> RunResult {
     run_custom_hinted(cfg, h2, spec, false)
 }
 
 fn run_custom_hinted(
     cfg: &EvalConfig,
     h2: Hybrid2Config,
-    spec: &'static workloads::WorkloadSpec,
+    spec: &workloads::WorkloadSpec,
     os_hints: bool,
 ) -> RunResult {
     let sys = ScaledSystem::new(NmRatio::OneGb, cfg.scale_den);
@@ -151,7 +147,7 @@ pub fn ablation_free_hints(cfg: &EvalConfig, smoke: bool) -> Vec<Report> {
             "FM migration bytes w/",
         ],
     );
-    for spec in specs {
+    for spec in &specs {
         let h2 = base_config(cfg);
         let plain = run_custom_hinted(cfg, h2, spec, false);
         let hinted = run_custom_hinted(cfg, h2, spec, true);

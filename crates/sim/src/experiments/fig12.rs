@@ -62,7 +62,7 @@ mod tests {
             threads: 4,
             ..EvalConfig::smoke()
         };
-        let specs = [catalog::by_name("lbm").unwrap()];
+        let specs = [catalog::by_name("lbm").unwrap().clone()];
         let m = Matrix::run(
             &[SchemeKind::MemPod, SchemeKind::Lgm, SchemeKind::Hybrid2],
             &specs,

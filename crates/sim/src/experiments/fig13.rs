@@ -48,7 +48,7 @@ mod tests {
             threads: 4,
             ..EvalConfig::smoke()
         };
-        let specs = [catalog::by_name("omnetpp").unwrap()];
+        let specs = [catalog::by_name("omnetpp").unwrap().clone()];
         let m = Matrix::run(
             &[SchemeKind::Tagless, SchemeKind::Hybrid2],
             &specs,

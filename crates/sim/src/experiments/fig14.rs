@@ -53,7 +53,7 @@ mod tests {
             ..EvalConfig::smoke()
         };
         // A capacity-pressured streaming workload where migration matters.
-        let specs = [catalog::by_name("lbm").unwrap()];
+        let specs = [catalog::by_name("lbm").unwrap().clone()];
         let kinds: Vec<SchemeKind> = Variant::ALL
             .iter()
             .map(|&v| SchemeKind::Hybrid2Variant(v))

@@ -32,11 +32,11 @@ use crate::{Matrix, NmRatio, SchemeKind};
 use workloads::{catalog, WorkloadSpec};
 
 /// The workload set an experiment runs on.
-pub fn workload_set(smoke: bool) -> Vec<&'static WorkloadSpec> {
+pub fn workload_set(smoke: bool) -> Vec<WorkloadSpec> {
     if smoke {
-        catalog::smoke_set().to_vec()
+        catalog::smoke_set().map(Clone::clone).to_vec()
     } else {
-        catalog::all().iter().collect()
+        catalog::all().to_vec()
     }
 }
 

@@ -31,7 +31,7 @@ pub fn table2_characterization(cfg: &EvalConfig, smoke: bool) -> Vec<Report> {
             "traffic extrap (GB)",
         ],
     );
-    for spec in specs {
+    for spec in &specs {
         let r = run_one(SchemeKind::Baseline, spec, NmRatio::OneGb, cfg);
         let gb = |b: f64| b / (1u64 << 30) as f64;
         let footprint_extrap = gb(r.footprint as f64 * cfg.scale_den as f64);

@@ -56,7 +56,7 @@ pub struct RunResult {
     /// Scheme name as used in the paper's figures.
     pub scheme: &'static str,
     /// Workload name.
-    pub workload: &'static str,
+    pub workload: String,
     /// Total simulated cycles (slowest core, after drain).
     pub cycles: u64,
     /// Instructions retired across all cores.
@@ -803,7 +803,7 @@ impl Machine {
         let hstats = self.hierarchy.stats();
         RunResult {
             scheme: self.scheme.name(),
-            workload: self.workload.spec().name,
+            workload: self.workload.spec().name.clone(),
             cycles,
             instructions,
             mem_ops: hstats.l1.accesses,

@@ -45,7 +45,7 @@ pub struct Matrix {
     /// The NM:FM ratio simulated.
     pub ratio: NmRatio,
     /// Workloads, in catalog order.
-    pub workloads: Vec<&'static WorkloadSpec>,
+    pub workloads: Vec<WorkloadSpec>,
     /// Baseline (no-NM) results per workload.
     pub baseline: Vec<RunResult>,
     /// Per-scheme results.
@@ -87,7 +87,7 @@ pub(crate) struct Job {
 
 /// The grid's job list in slot order: baseline rows first, then each
 /// scheme in `kinds` order — the layout [`Matrix::assemble`] expects.
-fn slot_jobs(kinds: &[SchemeKind], specs: &[&'static WorkloadSpec]) -> Vec<Job> {
+fn slot_jobs(kinds: &[SchemeKind], specs: &[WorkloadSpec]) -> Vec<Job> {
     let mut jobs: Vec<Job> = Vec::new();
     for (w, _) in specs.iter().enumerate() {
         jobs.push(Job {
@@ -111,7 +111,7 @@ fn slot_jobs(kinds: &[SchemeKind], specs: &[&'static WorkloadSpec]) -> Vec<Job> 
 /// The job list in LPT (longest-processing-time-first) dispatch order,
 /// descending cost with slot order breaking ties, so scheduling stays
 /// deterministic.
-fn lpt_jobs(kinds: &[SchemeKind], specs: &[&'static WorkloadSpec]) -> Vec<Job> {
+fn lpt_jobs(kinds: &[SchemeKind], specs: &[WorkloadSpec]) -> Vec<Job> {
     let mut jobs = slot_jobs(kinds, specs);
     sort_lpt(&mut jobs, specs);
     jobs
@@ -121,14 +121,14 @@ fn lpt_jobs(kinds: &[SchemeKind], specs: &[&'static WorkloadSpec]) -> Vec<Job> {
 /// comparator behind both the process-level shard deal ([`shard_jobs`])
 /// and the in-process dispatch ([`run_jobs`]), so the two can never
 /// drift apart.
-fn lpt_order(a: &Job, b: &Job, specs: &[&'static WorkloadSpec]) -> std::cmp::Ordering {
-    job_cost(b.kind, specs[b.w])
-        .cmp(&job_cost(a.kind, specs[a.w]))
+fn lpt_order(a: &Job, b: &Job, specs: &[WorkloadSpec]) -> std::cmp::Ordering {
+    job_cost(b.kind, &specs[b.w])
+        .cmp(&job_cost(a.kind, &specs[a.w]))
         .then(a.slot.cmp(&b.slot))
 }
 
 /// Sorts `jobs` into LPT dispatch order.
-fn sort_lpt(jobs: &mut [Job], specs: &[&'static WorkloadSpec]) {
+fn sort_lpt(jobs: &mut [Job], specs: &[WorkloadSpec]) {
     jobs.sort_by(|a, b| lpt_order(a, b, specs));
 }
 
@@ -144,7 +144,7 @@ fn sort_lpt(jobs: &mut [Job], specs: &[&'static WorkloadSpec]) {
 /// cells in ascending slot order.
 pub(crate) fn shard_jobs(
     kinds: &[SchemeKind],
-    specs: &[&'static WorkloadSpec],
+    specs: &[WorkloadSpec],
     index0: usize,
     count: usize,
 ) -> Vec<Job> {
@@ -202,7 +202,7 @@ impl StealQueue {
 /// so steal order and thread interleaving affect wall-clock only.
 fn run_jobs(
     jobs: &[Job],
-    specs: &[&'static WorkloadSpec],
+    specs: &[WorkloadSpec],
     ratio: NmRatio,
     cfg: &EvalConfig,
 ) -> Vec<(RunResult, f64)> {
@@ -235,7 +235,7 @@ fn run_jobs(
                 // Per-cell wall clock is run-record telemetry; it never
                 // influences results or scheduling.
                 let started = std::time::Instant::now();
-                let r = run_one(kind, specs[w], ratio, cfg);
+                let r = run_one(kind, &specs[w], ratio, cfg);
                 let secs = started.elapsed().as_secs_f64();
                 results[ji]
                     .set((r, secs))
@@ -257,7 +257,7 @@ impl Matrix {
     /// is byte-identical to [`Matrix::run_sequential`].
     pub fn run(
         kinds: &[SchemeKind],
-        specs: &[&'static WorkloadSpec],
+        specs: &[WorkloadSpec],
         ratio: NmRatio,
         cfg: &EvalConfig,
     ) -> Matrix {
@@ -270,7 +270,7 @@ impl Matrix {
     /// [`Matrix::run`]'s; only the timings vary run to run.
     pub fn run_timed(
         kinds: &[SchemeKind],
-        specs: &[&'static WorkloadSpec],
+        specs: &[WorkloadSpec],
         ratio: NmRatio,
         cfg: &EvalConfig,
     ) -> (Matrix, Vec<f64>) {
@@ -289,7 +289,7 @@ impl Matrix {
     /// [`Matrix::run`] computes monolithically.
     pub(crate) fn run_shard(
         kinds: &[SchemeKind],
-        specs: &[&'static WorkloadSpec],
+        specs: &[WorkloadSpec],
         ratio: NmRatio,
         cfg: &EvalConfig,
         index0: usize,
@@ -309,13 +309,13 @@ impl Matrix {
     /// no scheduling freedom at all.
     pub fn run_sequential(
         kinds: &[SchemeKind],
-        specs: &[&'static WorkloadSpec],
+        specs: &[WorkloadSpec],
         ratio: NmRatio,
         cfg: &EvalConfig,
     ) -> Matrix {
         let flat: Vec<RunResult> = slot_jobs(kinds, specs)
             .iter()
-            .map(|j| run_one(j.kind, specs[j.w], ratio, cfg))
+            .map(|j| run_one(j.kind, &specs[j.w], ratio, cfg))
             .collect();
         Matrix::assemble(kinds, specs, ratio, flat)
     }
@@ -325,7 +325,7 @@ impl Matrix {
     /// a sharded run, which is why it is crate-visible.
     pub(crate) fn assemble(
         kinds: &[SchemeKind],
-        specs: &[&'static WorkloadSpec],
+        specs: &[WorkloadSpec],
         ratio: NmRatio,
         mut flat: Vec<RunResult>,
     ) -> Matrix {
@@ -426,8 +426,8 @@ mod tests {
             ..EvalConfig::smoke()
         };
         let specs = [
-            catalog::by_name("lbm").unwrap(),
-            catalog::by_name("xalanc").unwrap(),
+            catalog::by_name("lbm").unwrap().clone(),
+            catalog::by_name("xalanc").unwrap().clone(),
         ];
         let m = Matrix::run(
             &[SchemeKind::Hybrid2, SchemeKind::Tagless],
@@ -454,9 +454,9 @@ mod tests {
     #[test]
     fn shard_jobs_partition_the_grid_exactly() {
         let specs = [
-            catalog::by_name("lbm").unwrap(),
-            catalog::by_name("mcf").unwrap(),
-            catalog::by_name("xalanc").unwrap(),
+            catalog::by_name("lbm").unwrap().clone(),
+            catalog::by_name("mcf").unwrap().clone(),
+            catalog::by_name("xalanc").unwrap().clone(),
         ];
         let kinds = [SchemeKind::Hybrid2, SchemeKind::Tagless, SchemeKind::Lgm];
         let total = (kinds.len() + 1) * specs.len();
@@ -482,7 +482,7 @@ mod tests {
         // norm would poison golden digests and floor comparisons.
         let zero = RunResult {
             scheme: "BASELINE",
-            workload: "lbm",
+            workload: "lbm".into(),
             cycles: 0,
             instructions: 0,
             mem_ops: 0,
@@ -494,7 +494,7 @@ mod tests {
             footprint: 0,
             stats: Default::default(),
         };
-        let specs = [catalog::by_name("lbm").unwrap()];
+        let specs = [catalog::by_name("lbm").unwrap().clone()];
         let m = Matrix::assemble(
             &[SchemeKind::Hybrid2],
             &specs,
@@ -521,7 +521,7 @@ mod tests {
             threads: 2,
             ..EvalConfig::smoke()
         };
-        let specs = [catalog::by_name("lbm").unwrap()];
+        let specs = [catalog::by_name("lbm").unwrap().clone()];
         let (m, secs) = Matrix::run_timed(&[SchemeKind::Tagless], &specs, NmRatio::OneGb, &cfg);
         assert_eq!(secs.len(), (m.schemes.len() + 1) * m.workloads.len());
         assert!(secs.iter().all(|s| s.is_finite() && *s >= 0.0));
@@ -536,7 +536,7 @@ mod tests {
             threads: 3,
             ..EvalConfig::smoke()
         };
-        let specs = [catalog::by_name("mcf").unwrap()];
+        let specs = [catalog::by_name("mcf").unwrap().clone()];
         let a = Matrix::run(&[SchemeKind::Lgm], &specs, NmRatio::OneGb, &cfg);
         let b = Matrix::run(&[SchemeKind::Lgm], &specs, NmRatio::OneGb, &cfg);
         assert_eq!(a.schemes[0].runs[0].cycles, b.schemes[0].runs[0].cycles);

@@ -168,7 +168,7 @@ impl RunRecord {
         // compile until the record format learns about it.
         let RunResult {
             scheme,
-            workload,
+            ref workload,
             cycles,
             instructions,
             mem_ops,
@@ -1098,7 +1098,7 @@ mod tests {
             &cfg,
             &RunResult {
                 scheme: "BASELINE",
-                workload: "lbm",
+                workload: "lbm".into(),
                 cycles: rec.cycles,
                 instructions: rec.instructions,
                 mem_ops: rec.mem_ops,

@@ -236,7 +236,7 @@ pub fn scheme_label(kind: SchemeKind) -> String {
 /// Simulates one (scheme, workload) pair and returns its measurements.
 pub fn run_one(
     kind: SchemeKind,
-    spec: &'static WorkloadSpec,
+    spec: &WorkloadSpec,
     ratio: NmRatio,
     cfg: &EvalConfig,
 ) -> RunResult {
@@ -260,7 +260,7 @@ pub fn run_one(
 /// itself is deterministic; only the seconds vary run to run.
 pub fn run_one_timed(
     kind: SchemeKind,
-    spec: &'static WorkloadSpec,
+    spec: &WorkloadSpec,
     ratio: NmRatio,
     cfg: &EvalConfig,
 ) -> (RunResult, f64) {

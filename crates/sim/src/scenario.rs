@@ -7,8 +7,7 @@
 //! same work-stealing scheduler, the same determinism contract (two runs,
 //! or a `--threads 1` run, are byte-identical).
 
-use workloads::scenarios::{self, ScenarioSpec};
-use workloads::WorkloadSpec;
+use workloads::{Catalog, Scenario, WorkloadSpec};
 
 use crate::machine::RunResult;
 use crate::report::{f3, pct, Report};
@@ -17,34 +16,30 @@ use crate::scale::NmRatio;
 use crate::shard::{CellKey, ShardSpec};
 use crate::Matrix;
 
-/// Resolves a CLI selector to scenarios: `"all"` for the whole catalog,
+/// Resolves a CLI selector against a catalog: `"all"` for every scenario,
 /// otherwise a single scenario by name. `None` if the name is unknown.
-pub fn select(selector: &str) -> Option<Vec<&'static ScenarioSpec>> {
+pub fn select<'c>(cat: &'c Catalog, selector: &str) -> Option<Vec<&'c Scenario>> {
     if selector == "all" {
-        Some(scenarios::all().iter().collect())
+        Some(cat.iter().collect())
     } else {
-        scenarios::by_name(selector).map(|s| vec![s])
+        cat.by_name(selector).map(|s| vec![s])
     }
 }
 
 /// The workload list of a scenario selection, in catalog order.
-pub fn workloads_of(scens: &[&'static ScenarioSpec]) -> Vec<&'static WorkloadSpec> {
-    scens.iter().map(|s| &s.workload).collect()
+pub fn workloads_of(scens: &[&Scenario]) -> Vec<WorkloadSpec> {
+    scens.iter().map(|s| s.workload.clone()).collect()
 }
 
 /// Runs the MAIN six schemes (plus the baseline) over `scens` at `ratio`.
-pub fn run_grid(scens: &[&'static ScenarioSpec], ratio: NmRatio, cfg: &EvalConfig) -> Matrix {
+pub fn run_grid(scens: &[&Scenario], ratio: NmRatio, cfg: &EvalConfig) -> Matrix {
     run_grid_timed(scens, ratio, cfg).0
 }
 
 /// [`run_grid`] plus per-cell wall-clock seconds in slot order — the
 /// telemetry `--runlog` run records carry. The matrix is identical to
 /// [`run_grid`]'s; only the timings vary run to run.
-pub fn run_grid_timed(
-    scens: &[&'static ScenarioSpec],
-    ratio: NmRatio,
-    cfg: &EvalConfig,
-) -> (Matrix, Vec<f64>) {
+pub fn run_grid_timed(scens: &[&Scenario], ratio: NmRatio, cfg: &EvalConfig) -> (Matrix, Vec<f64>) {
     Matrix::run_timed(&SchemeKind::MAIN, &workloads_of(scens), ratio, cfg)
 }
 
@@ -53,7 +48,7 @@ pub fn run_grid_timed(
 /// order for the [`crate::shard`] interchange format. Merging every slice
 /// of a split reproduces [`run_grid`]'s matrix exactly.
 pub fn run_grid_shard(
-    scens: &[&'static ScenarioSpec],
+    scens: &[&Scenario],
     ratio: NmRatio,
     cfg: &EvalConfig,
     shard: ShardSpec,
@@ -113,13 +108,13 @@ pub fn grid_reports(m: &Matrix) -> Vec<Report> {
     vec![speedup_report(m), nm_served_report(m), fm_traffic_report(m)]
 }
 
-/// The scenario catalog as a table (`reproduce scenario --list`).
-pub fn catalog_report() -> Report {
+/// A scenario catalog as a table (`reproduce scenario --list`).
+pub fn catalog_report(cat: &Catalog) -> Report {
     let mut r = Report::new(
         "Scenario catalog",
         vec!["name", "family", "class", "summary"],
     );
-    for s in scenarios::all() {
+    for s in cat.iter() {
         let family = if matches!(s.workload.pattern, workloads::PatternSpec::Phased { .. }) {
             "phased"
         } else {
@@ -138,6 +133,7 @@ pub fn catalog_report() -> Report {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use workloads::scenarios;
 
     fn tiny_cfg() -> EvalConfig {
         EvalConfig {
@@ -151,14 +147,15 @@ mod tests {
 
     #[test]
     fn select_resolves_names_and_all() {
-        assert_eq!(select("all").unwrap().len(), scenarios::all().len());
-        assert_eq!(select("quad-mix").unwrap().len(), 1);
-        assert!(select("not-a-scenario").is_none());
+        let cat = scenarios::builtin();
+        assert_eq!(select(cat, "all").unwrap().len(), cat.len());
+        assert_eq!(select(cat, "quad-mix").unwrap().len(), 1);
+        assert!(select(cat, "not-a-scenario").is_none());
     }
 
     #[test]
     fn grid_runs_and_reports_render() {
-        let scens = select("stream-chase").unwrap();
+        let scens = select(scenarios::builtin(), "stream-chase").unwrap();
         let m = run_grid(&scens, NmRatio::OneGb, &tiny_cfg());
         assert_eq!(m.workloads.len(), 1);
         assert_eq!(m.schemes.len(), SchemeKind::MAIN.len());
@@ -170,7 +167,7 @@ mod tests {
 
     #[test]
     fn grid_shard_runs_exactly_its_partition_slice() {
-        let scens = select("stream-chase").unwrap();
+        let scens = select(scenarios::builtin(), "stream-chase").unwrap();
         let shard = ShardSpec { index: 1, count: 3 };
         let cells = run_grid_shard(&scens, NmRatio::OneGb, &tiny_cfg(), shard);
         let keys = crate::shard::shard_cell_keys(&SchemeKind::MAIN, &workloads_of(&scens), shard);
@@ -186,7 +183,7 @@ mod tests {
 
     #[test]
     fn catalog_report_lists_every_scenario() {
-        let text = catalog_report().render();
+        let text = catalog_report(scenarios::builtin()).render();
         for s in scenarios::all() {
             assert!(text.contains(s.name()), "missing {}", s.name());
         }

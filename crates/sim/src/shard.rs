@@ -35,7 +35,7 @@
 use std::fmt;
 
 use dram::SchemeStats;
-use workloads::WorkloadSpec;
+use workloads::{Catalog, Scenario, WorkloadSpec};
 
 use crate::machine::RunResult;
 use crate::matrix::{self, Job};
@@ -114,11 +114,31 @@ pub enum GridId {
         /// `true` for the smoke workload set.
         smoke: bool,
     },
+    /// A scenario grid over a `.scn` spec file (`reproduce scenario --spec
+    /// FILE`). Merge and cluster workers re-read the file, so the path
+    /// must resolve wherever the shard is decoded.
+    SpecFile {
+        /// Path of the `.scn` file (no tabs or newlines).
+        path: String,
+        /// Scenario selector within the compiled catalog.
+        selector: String,
+    },
+    /// A scenario grid over a generated catalog (`reproduce scenario
+    /// --generate N --seed S`). Generation is a pure function of
+    /// `(count, seed)`, so any decoder re-derives the identical grid.
+    Generated {
+        /// Number of scenarios generated.
+        count: usize,
+        /// Generator seed.
+        seed: u64,
+        /// Scenario selector within the generated catalog.
+        selector: String,
+    },
 }
 
 /// Stable address of one grid cell: its slot in the [`Matrix`] result
 /// layout plus the (scheme, workload) pair that determines it.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CellKey {
     /// Position in the flat result layout (baseline rows first, then each
     /// scheme row in grid order).
@@ -126,15 +146,15 @@ pub struct CellKey {
     /// The scheme simulated in this cell.
     pub kind: SchemeKind,
     /// The workload name (unique within a grid).
-    pub workload: &'static str,
+    pub workload: String,
 }
 
 impl CellKey {
-    fn of(job: &Job, specs: &[&'static WorkloadSpec]) -> CellKey {
+    fn of(job: &Job, specs: &[WorkloadSpec]) -> CellKey {
         CellKey {
             slot: job.slot,
             kind: job.kind,
-            workload: specs[job.w].name,
+            workload: specs[job.w].name.clone(),
         }
     }
 }
@@ -145,7 +165,7 @@ impl CellKey {
 /// order-stable without running any simulation.
 pub fn shard_cell_keys(
     kinds: &[SchemeKind],
-    specs: &[&'static WorkloadSpec],
+    specs: &[WorkloadSpec],
     shard: ShardSpec,
 ) -> Vec<CellKey> {
     matrix::shard_jobs(kinds, specs, shard.index0(), shard.count)
@@ -160,7 +180,7 @@ pub fn shard_cell_keys(
 /// interchange format, which stays byte-identical run to run.
 pub fn run_matrix_shard(
     kinds: &[SchemeKind],
-    specs: &[&'static WorkloadSpec],
+    specs: &[WorkloadSpec],
     ratio: NmRatio,
     cfg: &EvalConfig,
     shard: ShardSpec,
@@ -278,18 +298,52 @@ fn grid_kinds() -> Vec<SchemeKind> {
     SchemeKind::MAIN.to_vec()
 }
 
-/// Resolves a grid id to its (scheme rows, workloads) job space.
-pub(crate) fn resolve(
-    grid: &GridId,
-) -> Result<(Vec<SchemeKind>, Vec<&'static WorkloadSpec>), String> {
+/// Selects scenarios from `cat` and clones out their workloads, failing
+/// with a nearest-match suggestion on an unknown name.
+fn select_workloads(cat: &Catalog, selector: &str) -> Result<Vec<WorkloadSpec>, String> {
+    let scens: Vec<&Scenario> =
+        scenario::select(cat, selector).ok_or_else(|| match cat.nearest(selector) {
+            Some(near) => {
+                format!("unknown scenario selector {selector:?} (did you mean {near:?}?)")
+            }
+            None => format!("unknown scenario selector {selector:?}"),
+        })?;
+    Ok(scenario::workloads_of(&scens))
+}
+
+/// Resolves a grid id to its owned (scheme rows, workloads) job space.
+/// [`GridId::Generated`] grids are re-derived (generation is a pure
+/// function of count and seed); [`GridId::SpecFile`] grids re-read the
+/// spec file, so the path must resolve wherever the shard is decoded.
+pub(crate) fn resolve(grid: &GridId) -> Result<(Vec<SchemeKind>, Vec<WorkloadSpec>), String> {
     match grid {
-        GridId::Scenario { selector } => {
-            let scens = scenario::select(selector)
-                .ok_or_else(|| format!("unknown scenario selector {selector:?}"))?;
-            Ok((grid_kinds(), scenario::workloads_of(&scens)))
-        }
+        GridId::Scenario { selector } => Ok((
+            grid_kinds(),
+            select_workloads(workloads::scenarios::builtin(), selector)?,
+        )),
         GridId::Eval { smoke } => Ok((grid_kinds(), experiments::workload_set(*smoke))),
+        GridId::SpecFile { path, selector } => {
+            let cat =
+                Catalog::from_scn_file(std::path::Path::new(path)).map_err(|e| e.to_string())?;
+            Ok((grid_kinds(), select_workloads(&cat, selector)?))
+        }
+        GridId::Generated {
+            count,
+            seed,
+            selector,
+        } => Ok((
+            grid_kinds(),
+            select_workloads(&Catalog::generate(*count, *seed), selector)?,
+        )),
     }
+}
+
+/// Checks that `grid` resolves — the spec file reads and compiles, the
+/// generated catalog derives, and the selector names a scenario — without
+/// running anything. The CLI calls this at parse time so a bad grid is a
+/// usage error (exit 2), not a mid-run failure.
+pub fn validate_grid(grid: &GridId) -> Result<(), String> {
+    resolve(grid).map(|_| ())
 }
 
 /// One executed shard: the encoded interchange file plus the timed cells,
@@ -351,7 +405,9 @@ pub(crate) fn check_slice(
 /// the rendered output reduces to equality of the [`Matrix`].
 pub fn reports(grid: &GridId, m: &Matrix) -> Vec<Report> {
     match grid {
-        GridId::Scenario { .. } => scenario::grid_reports(m),
+        GridId::Scenario { .. } | GridId::SpecFile { .. } | GridId::Generated { .. } => {
+            scenario::grid_reports(m)
+        }
         GridId::Eval { .. } => experiments::evalsuite_reports(m),
     }
 }
@@ -405,6 +461,18 @@ fn encode(
                 if *smoke { "smoke" } else { "full" }
             ));
         }
+        GridId::SpecFile { path, selector } => {
+            debug_assert!(!path.contains(['\t', '\n']) && !selector.contains(['\t', '\n']));
+            out.push_str(&format!("grid\tspecfile\t{path}\t{selector}\n"));
+        }
+        GridId::Generated {
+            count,
+            seed,
+            selector,
+        } => {
+            debug_assert!(!selector.contains(['\t', '\n']));
+            out.push_str(&format!("grid\tgenerated\t{count}\t{seed}\t{selector}\n"));
+        }
     }
     out.push_str(&format!("ratio\t{}\n", ratio_token(ratio)));
     out.push_str(&format!("scale\t{}\n", cfg.scale_den));
@@ -418,7 +486,7 @@ fn encode(
         // not compile.
         let RunResult {
             scheme,
-            workload,
+            ref workload,
             cycles,
             instructions,
             mem_ops,
@@ -528,6 +596,15 @@ fn decode(contents: &str) -> Result<ShardFile, String> {
         },
         [k, set] if k == "eval" && set == "smoke" => GridId::Eval { smoke: true },
         [k, set] if k == "eval" && set == "full" => GridId::Eval { smoke: false },
+        [k, path, sel] if k == "specfile" => GridId::SpecFile {
+            path: path.clone(),
+            selector: sel.clone(),
+        },
+        [k, count, seed, sel] if k == "generated" => GridId::Generated {
+            count: parse_usize(count, "generated count")?,
+            seed: parse_u64(seed, "generated seed")?,
+            selector: sel.clone(),
+        },
         _ => return Err(format!("unknown grid header {grid_cols:?}")),
     };
     let one = |cols: Vec<String>, key: &str| -> Result<String, String> {
@@ -772,7 +849,7 @@ pub fn merge(inputs: &[(String, String)]) -> Result<Merged, String> {
             let w = key.slot % specs.len();
             flat[key.slot] = Some(RunResult {
                 scheme: expected_name,
-                workload: specs[w].name,
+                workload: specs[w].name.clone(),
                 cycles: cell.cycles,
                 instructions: cell.instructions,
                 mem_ops: cell.mem_ops,
@@ -852,7 +929,7 @@ mod tests {
 
     #[test]
     fn cell_keys_are_disjoint_covering_and_slot_ordered() {
-        let specs: Vec<&'static WorkloadSpec> = catalog::smoke_set().to_vec();
+        let specs: Vec<WorkloadSpec> = catalog::smoke_set().map(Clone::clone).to_vec();
         let kinds = grid_kinds();
         let total = (kinds.len() + 1) * specs.len();
         for count in [1, 2, 3, 7, total + 5] {
@@ -874,7 +951,7 @@ mod tests {
     /// would destroy.
     fn synthetic_cells(
         kinds: &[SchemeKind],
-        specs: &[&'static WorkloadSpec],
+        specs: &[WorkloadSpec],
         ratio: NmRatio,
         scale_den: u64,
         shard: ShardSpec,
@@ -886,7 +963,7 @@ mod tests {
                 let x = key.slot as u64;
                 let r = RunResult {
                     scheme: build_scheme(key.kind, &sys).name(),
-                    workload: key.workload,
+                    workload: key.workload.clone(),
                     cycles: 1000 + x,
                     instructions: 77 * x + 1,
                     mem_ops: 13 * x,

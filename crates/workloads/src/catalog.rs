@@ -10,6 +10,9 @@
 //! and very limited spatial locality", omnetpp punished by large cache
 //! lines.
 
+use std::collections::HashMap;
+use std::sync::LazyLock;
+
 use crate::patterns::PatternSpec;
 use crate::spec::{MpkiClass, PaperRow, WorkloadKind, WorkloadSpec};
 
@@ -26,382 +29,388 @@ const fn row(mpki: f64, footprint_gb: f64, traffic_gb: f64) -> PaperRow {
 }
 
 /// All 30 workloads of the evaluation (Table 2), in the paper's order:
-/// high-MPKI, then medium, then low.
-pub static ALL: [WorkloadSpec; 30] = [
-    // ---- High MPKI -----------------------------------------------------
-    WorkloadSpec {
-        name: "cg.D",
-        kind: MT,
-        class: High,
-        paper: row(90.6, 7.8, 43.3),
-        pattern: P::StreamMix {
-            stream_pct: 50,
-            stride: 8,
-            hot_bp: 60,
-            hot_pct: 95,
+/// high-MPKI, then medium, then low. Built once on first use — the specs
+/// own their names and pattern trees, so they can no longer live in a
+/// `static` array.
+static ALL: LazyLock<Vec<WorkloadSpec>> = LazyLock::new(build_all);
+
+fn build_all() -> Vec<WorkloadSpec> {
+    vec![
+        // ---- High MPKI -----------------------------------------------------
+        WorkloadSpec {
+            name: "cg.D".into(),
+            kind: MT,
+            class: High,
+            paper: row(90.6, 7.8, 43.3),
+            pattern: P::StreamMix {
+                stream_pct: 50,
+                stride: 8,
+                hot_bp: 60,
+                hot_pct: 95,
+            },
+            mem_every: 6,
+            write_pct: 25,
         },
-        mem_every: 6,
-        write_pct: 25,
-    },
-    WorkloadSpec {
-        name: "sp.D",
-        kind: MT,
-        class: High,
-        paper: row(30.1, 11.2, 21.6),
-        pattern: P::TiledStream {
-            stride: 32,
-            tile_bp: 400,
-            repeats: 2,
+        WorkloadSpec {
+            name: "sp.D".into(),
+            kind: MT,
+            class: High,
+            paper: row(30.1, 11.2, 21.6),
+            pattern: P::TiledStream {
+                stride: 32,
+                tile_bp: 400,
+                repeats: 2,
+            },
+            mem_every: 17,
+            write_pct: 30,
         },
-        mem_every: 17,
-        write_pct: 30,
-    },
-    WorkloadSpec {
-        name: "bt.D",
-        kind: MT,
-        class: High,
-        paper: row(30.1, 10.7, 21.3),
-        pattern: P::TiledStream {
-            stride: 32,
-            tile_bp: 400,
-            repeats: 2,
+        WorkloadSpec {
+            name: "bt.D".into(),
+            kind: MT,
+            class: High,
+            paper: row(30.1, 10.7, 21.3),
+            pattern: P::TiledStream {
+                stride: 32,
+                tile_bp: 400,
+                repeats: 2,
+            },
+            mem_every: 17,
+            write_pct: 30,
         },
-        mem_every: 17,
-        write_pct: 30,
-    },
-    WorkloadSpec {
-        name: "fotonik3d",
-        kind: MP,
-        class: High,
-        paper: row(28.1, 6.4, 19.9),
-        pattern: P::TiledStream {
-            stride: 16,
-            tile_bp: 400,
-            repeats: 2,
+        WorkloadSpec {
+            name: "fotonik3d".into(),
+            kind: MP,
+            class: High,
+            paper: row(28.1, 6.4, 19.9),
+            pattern: P::TiledStream {
+                stride: 16,
+                tile_bp: 400,
+                repeats: 2,
+            },
+            mem_every: 9,
+            write_pct: 30,
         },
-        mem_every: 9,
-        write_pct: 30,
-    },
-    WorkloadSpec {
-        name: "lbm",
-        kind: MP,
-        class: High,
-        paper: row(27.4, 3.1, 21.7),
-        pattern: P::TiledStream {
-            stride: 8,
-            tile_bp: 400,
-            repeats: 2,
+        WorkloadSpec {
+            name: "lbm".into(),
+            kind: MP,
+            class: High,
+            paper: row(27.4, 3.1, 21.7),
+            pattern: P::TiledStream {
+                stride: 8,
+                tile_bp: 400,
+                repeats: 2,
+            },
+            mem_every: 5,
+            write_pct: 40,
         },
-        mem_every: 5,
-        write_pct: 40,
-    },
-    WorkloadSpec {
-        name: "bwaves",
-        kind: MP,
-        class: High,
-        paper: row(26.8, 3.3, 13.8),
-        pattern: P::TiledStream {
-            stride: 16,
-            tile_bp: 500,
-            repeats: 3,
+        WorkloadSpec {
+            name: "bwaves".into(),
+            kind: MP,
+            class: High,
+            paper: row(26.8, 3.3, 13.8),
+            pattern: P::TiledStream {
+                stride: 16,
+                tile_bp: 500,
+                repeats: 3,
+            },
+            mem_every: 9,
+            write_pct: 25,
         },
-        mem_every: 9,
-        write_pct: 25,
-    },
-    WorkloadSpec {
-        name: "lu.D",
-        kind: MT,
-        class: High,
-        paper: row(25.8, 2.9, 19.1),
-        pattern: P::TiledStream {
-            stride: 64,
-            tile_bp: 400,
-            repeats: 2,
+        WorkloadSpec {
+            name: "lu.D".into(),
+            kind: MT,
+            class: High,
+            paper: row(25.8, 2.9, 19.1),
+            pattern: P::TiledStream {
+                stride: 64,
+                tile_bp: 400,
+                repeats: 2,
+            },
+            mem_every: 39,
+            write_pct: 30,
         },
-        mem_every: 39,
-        write_pct: 30,
-    },
-    WorkloadSpec {
-        name: "mcf",
-        kind: MP,
-        class: High,
-        paper: row(25.8, 0.1, 12.6),
-        pattern: P::PointerChase {
-            hot_bp: 2000,
-            hot_pct: 85,
+        WorkloadSpec {
+            name: "mcf".into(),
+            kind: MP,
+            class: High,
+            paper: row(25.8, 0.1, 12.6),
+            pattern: P::PointerChase {
+                hot_bp: 2000,
+                hot_pct: 85,
+            },
+            mem_every: 39,
+            write_pct: 15,
         },
-        mem_every: 39,
-        write_pct: 15,
-    },
-    WorkloadSpec {
-        name: "gcc",
-        kind: MP,
-        class: High,
-        paper: row(21.2, 1.6, 13.0),
-        pattern: P::PhasedHotspot {
-            period: 200_000,
-            hot_bp: 200,
-            hot_pct: 70,
+        WorkloadSpec {
+            name: "gcc".into(),
+            kind: MP,
+            class: High,
+            paper: row(21.2, 1.6, 13.0),
+            pattern: P::PhasedHotspot {
+                period: 200_000,
+                hot_bp: 200,
+                hot_pct: 70,
+            },
+            mem_every: 14,
+            write_pct: 25,
         },
-        mem_every: 14,
-        write_pct: 25,
-    },
-    WorkloadSpec {
-        name: "roms",
-        kind: MP,
-        class: High,
-        paper: row(15.5, 2.3, 9.7),
-        pattern: P::TiledStream {
-            stride: 16,
-            tile_bp: 400,
-            repeats: 2,
+        WorkloadSpec {
+            name: "roms".into(),
+            kind: MP,
+            class: High,
+            paper: row(15.5, 2.3, 9.7),
+            pattern: P::TiledStream {
+                stride: 16,
+                tile_bp: 400,
+                repeats: 2,
+            },
+            mem_every: 16,
+            write_pct: 25,
         },
-        mem_every: 16,
-        write_pct: 25,
-    },
-    // ---- Medium MPKI ---------------------------------------------------
-    WorkloadSpec {
-        name: "mg.C",
-        kind: MT,
-        class: Medium,
-        paper: row(14.2, 2.8, 8.9),
-        pattern: P::TiledStream {
-            stride: 64,
-            tile_bp: 400,
-            repeats: 2,
+        // ---- Medium MPKI ---------------------------------------------------
+        WorkloadSpec {
+            name: "mg.C".into(),
+            kind: MT,
+            class: Medium,
+            paper: row(14.2, 2.8, 8.9),
+            pattern: P::TiledStream {
+                stride: 64,
+                tile_bp: 400,
+                repeats: 2,
+            },
+            mem_every: 70,
+            write_pct: 25,
         },
-        mem_every: 70,
-        write_pct: 25,
-    },
-    WorkloadSpec {
-        name: "omnetpp",
-        kind: MP,
-        class: Medium,
-        paper: row(9.8, 1.5, 6.9),
-        pattern: P::PointerChase {
-            hot_bp: 3000,
-            hot_pct: 85,
+        WorkloadSpec {
+            name: "omnetpp".into(),
+            kind: MP,
+            class: Medium,
+            paper: row(9.8, 1.5, 6.9),
+            pattern: P::PointerChase {
+                hot_bp: 3000,
+                hot_pct: 85,
+            },
+            mem_every: 102,
+            write_pct: 20,
         },
-        mem_every: 102,
-        write_pct: 20,
-    },
-    WorkloadSpec {
-        name: "is.C",
-        kind: MT,
-        class: Medium,
-        paper: row(9.0, 1.0, 5.4),
-        pattern: P::Hotspot {
-            hot_bp: 1500,
-            hot_pct: 75,
+        WorkloadSpec {
+            name: "is.C".into(),
+            kind: MT,
+            class: Medium,
+            paper: row(9.0, 1.0, 5.4),
+            pattern: P::Hotspot {
+                hot_bp: 1500,
+                hot_pct: 75,
+            },
+            mem_every: 111,
+            write_pct: 30,
         },
-        mem_every: 111,
-        write_pct: 30,
-    },
-    WorkloadSpec {
-        name: "dc.B",
-        kind: MT,
-        class: Medium,
-        paper: row(8.4, 4.0, 8.0),
-        pattern: P::Stream { stride: 8 },
-        mem_every: 15,
-        write_pct: 30,
-    },
-    WorkloadSpec {
-        name: "ua.D",
-        kind: MT,
-        class: Medium,
-        paper: row(7.8, 3.1, 4.9),
-        pattern: P::Hotspot {
-            hot_bp: 1200,
-            hot_pct: 80,
+        WorkloadSpec {
+            name: "dc.B".into(),
+            kind: MT,
+            class: Medium,
+            paper: row(8.4, 4.0, 8.0),
+            pattern: P::Stream { stride: 8 },
+            mem_every: 15,
+            write_pct: 30,
         },
-        mem_every: 128,
-        write_pct: 25,
-    },
-    WorkloadSpec {
-        name: "xz",
-        kind: MP,
-        class: Medium,
-        paper: row(5.6, 0.7, 4.3),
-        pattern: P::PhasedHotspot {
-            period: 300_000,
-            hot_bp: 200,
-            hot_pct: 60,
+        WorkloadSpec {
+            name: "ua.D".into(),
+            kind: MT,
+            class: Medium,
+            paper: row(7.8, 3.1, 4.9),
+            pattern: P::Hotspot {
+                hot_bp: 1200,
+                hot_pct: 80,
+            },
+            mem_every: 128,
+            write_pct: 25,
         },
-        mem_every: 71,
-        write_pct: 25,
-    },
-    WorkloadSpec {
-        name: "parest",
-        kind: MP,
-        class: Medium,
-        paper: row(4.3, 0.2, 2.2),
-        pattern: P::Hotspot {
-            hot_bp: 200,
-            hot_pct: 80,
+        WorkloadSpec {
+            name: "xz".into(),
+            kind: MP,
+            class: Medium,
+            paper: row(5.6, 0.7, 4.3),
+            pattern: P::PhasedHotspot {
+                period: 300_000,
+                hot_bp: 200,
+                hot_pct: 60,
+            },
+            mem_every: 71,
+            write_pct: 25,
         },
-        mem_every: 47,
-        write_pct: 20,
-    },
-    WorkloadSpec {
-        name: "cactus",
-        kind: MP,
-        class: Medium,
-        paper: row(3.4, 0.8, 2.0),
-        pattern: P::StreamMix {
-            stream_pct: 70,
-            stride: 16,
-            hot_bp: 1000,
-            hot_pct: 80,
+        WorkloadSpec {
+            name: "parest".into(),
+            kind: MP,
+            class: Medium,
+            paper: row(4.3, 0.2, 2.2),
+            pattern: P::Hotspot {
+                hot_bp: 200,
+                hot_pct: 80,
+            },
+            mem_every: 47,
+            write_pct: 20,
         },
-        mem_every: 140,
-        write_pct: 25,
-    },
-    WorkloadSpec {
-        name: "ft.C",
-        kind: MT,
-        class: Medium,
-        paper: row(3.1, 0.9, 2.6),
-        pattern: P::TiledStream {
-            stride: 128,
-            tile_bp: 600,
-            repeats: 2,
+        WorkloadSpec {
+            name: "cactus".into(),
+            kind: MP,
+            class: Medium,
+            paper: row(3.4, 0.8, 2.0),
+            pattern: P::StreamMix {
+                stream_pct: 70,
+                stride: 16,
+                hot_bp: 1000,
+                hot_pct: 80,
+            },
+            mem_every: 140,
+            write_pct: 25,
         },
-        mem_every: 323,
-        write_pct: 30,
-    },
-    WorkloadSpec {
-        name: "cam4",
-        kind: MP,
-        class: Medium,
-        paper: row(2.2, 0.3, 1.6),
-        pattern: P::StreamMix {
-            stream_pct: 60,
-            stride: 8,
-            hot_bp: 1000,
-            hot_pct: 80,
+        WorkloadSpec {
+            name: "ft.C".into(),
+            kind: MT,
+            class: Medium,
+            paper: row(3.1, 0.9, 2.6),
+            pattern: P::TiledStream {
+                stride: 128,
+                tile_bp: 600,
+                repeats: 2,
+            },
+            mem_every: 323,
+            write_pct: 30,
         },
-        mem_every: 216,
-        write_pct: 25,
-    },
-    // ---- Low MPKI --------------------------------------------------------
-    WorkloadSpec {
-        name: "wrf",
-        kind: MP,
-        class: Low,
-        paper: row(1.4, 0.4, 1.1),
-        pattern: P::Hotspot {
-            hot_bp: 150,
-            hot_pct: 95,
+        WorkloadSpec {
+            name: "cam4".into(),
+            kind: MP,
+            class: Medium,
+            paper: row(2.2, 0.3, 1.6),
+            pattern: P::StreamMix {
+                stream_pct: 60,
+                stride: 8,
+                hot_bp: 1000,
+                hot_pct: 80,
+            },
+            mem_every: 216,
+            write_pct: 25,
         },
-        mem_every: 36,
-        write_pct: 25,
-    },
-    WorkloadSpec {
-        name: "xalanc",
-        kind: MP,
-        class: Low,
-        paper: row(1.1, 0.1, 1.0),
-        pattern: P::Hotspot {
-            hot_bp: 150,
-            hot_pct: 97,
+        // ---- Low MPKI --------------------------------------------------------
+        WorkloadSpec {
+            name: "wrf".into(),
+            kind: MP,
+            class: Low,
+            paper: row(1.4, 0.4, 1.1),
+            pattern: P::Hotspot {
+                hot_bp: 150,
+                hot_pct: 95,
+            },
+            mem_every: 36,
+            write_pct: 25,
         },
-        mem_every: 27,
-        write_pct: 20,
-    },
-    WorkloadSpec {
-        name: "imagick",
-        kind: MP,
-        class: Low,
-        paper: row(1.1, 0.4, 0.9),
-        pattern: P::Stream { stride: 8 },
-        mem_every: 114,
-        write_pct: 30,
-    },
-    WorkloadSpec {
-        name: "x264",
-        kind: MP,
-        class: Low,
-        paper: row(0.9, 0.3, 0.6),
-        pattern: P::StreamMix {
-            stream_pct: 80,
-            stride: 8,
-            hot_bp: 1000,
-            hot_pct: 85,
+        WorkloadSpec {
+            name: "xalanc".into(),
+            kind: MP,
+            class: Low,
+            paper: row(1.1, 0.1, 1.0),
+            pattern: P::Hotspot {
+                hot_bp: 150,
+                hot_pct: 97,
+            },
+            mem_every: 27,
+            write_pct: 20,
         },
-        mem_every: 333,
-        write_pct: 30,
-    },
-    WorkloadSpec {
-        name: "perlbench",
-        kind: MP,
-        class: Low,
-        paper: row(0.7, 0.2, 0.4),
-        pattern: P::Hotspot {
-            hot_bp: 150,
-            hot_pct: 96,
+        WorkloadSpec {
+            name: "imagick".into(),
+            kind: MP,
+            class: Low,
+            paper: row(1.1, 0.4, 0.9),
+            pattern: P::Stream { stride: 8 },
+            mem_every: 114,
+            write_pct: 30,
         },
-        mem_every: 57,
-        write_pct: 25,
-    },
-    WorkloadSpec {
-        name: "blender",
-        kind: MP,
-        class: Low,
-        paper: row(0.7, 0.2, 0.3),
-        pattern: P::Hotspot {
-            hot_bp: 150,
-            hot_pct: 95,
+        WorkloadSpec {
+            name: "x264".into(),
+            kind: MP,
+            class: Low,
+            paper: row(0.9, 0.3, 0.6),
+            pattern: P::StreamMix {
+                stream_pct: 80,
+                stride: 8,
+                hot_bp: 1000,
+                hot_pct: 85,
+            },
+            mem_every: 333,
+            write_pct: 30,
         },
-        mem_every: 71,
-        write_pct: 25,
-    },
-    WorkloadSpec {
-        name: "deepsjeng",
-        kind: MP,
-        class: Low,
-        paper: row(0.3, 3.4, 0.2),
-        pattern: P::Random,
-        mem_every: 3333,
-        write_pct: 15,
-    },
-    WorkloadSpec {
-        name: "nab",
-        kind: MP,
-        class: Low,
-        paper: row(0.2, 0.2, 0.1),
-        pattern: P::Hotspot {
-            hot_bp: 150,
-            hot_pct: 97,
+        WorkloadSpec {
+            name: "perlbench".into(),
+            kind: MP,
+            class: Low,
+            paper: row(0.7, 0.2, 0.4),
+            pattern: P::Hotspot {
+                hot_bp: 150,
+                hot_pct: 96,
+            },
+            mem_every: 57,
+            write_pct: 25,
         },
-        mem_every: 150,
-        write_pct: 25,
-    },
-    WorkloadSpec {
-        name: "leela",
-        kind: MP,
-        class: Low,
-        paper: row(0.1, 0.1, 0.1),
-        pattern: P::Hotspot {
-            hot_bp: 150,
-            hot_pct: 98,
+        WorkloadSpec {
+            name: "blender".into(),
+            kind: MP,
+            class: Low,
+            paper: row(0.7, 0.2, 0.3),
+            pattern: P::Hotspot {
+                hot_bp: 150,
+                hot_pct: 95,
+            },
+            mem_every: 71,
+            write_pct: 25,
         },
-        mem_every: 200,
-        write_pct: 20,
-    },
-    WorkloadSpec {
-        name: "namd",
-        kind: MP,
-        class: Low,
-        paper: row(0.13, 0.1, 0.1),
-        pattern: P::Hotspot {
-            hot_bp: 150,
-            hot_pct: 97,
+        WorkloadSpec {
+            name: "deepsjeng".into(),
+            kind: MP,
+            class: Low,
+            paper: row(0.3, 3.4, 0.2),
+            pattern: P::Random,
+            mem_every: 3333,
+            write_pct: 15,
         },
-        mem_every: 230,
-        write_pct: 25,
-    },
-];
+        WorkloadSpec {
+            name: "nab".into(),
+            kind: MP,
+            class: Low,
+            paper: row(0.2, 0.2, 0.1),
+            pattern: P::Hotspot {
+                hot_bp: 150,
+                hot_pct: 97,
+            },
+            mem_every: 150,
+            write_pct: 25,
+        },
+        WorkloadSpec {
+            name: "leela".into(),
+            kind: MP,
+            class: Low,
+            paper: row(0.1, 0.1, 0.1),
+            pattern: P::Hotspot {
+                hot_bp: 150,
+                hot_pct: 98,
+            },
+            mem_every: 200,
+            write_pct: 20,
+        },
+        WorkloadSpec {
+            name: "namd".into(),
+            kind: MP,
+            class: Low,
+            paper: row(0.13, 0.1, 0.1),
+            pattern: P::Hotspot {
+                hot_bp: 150,
+                hot_pct: 97,
+            },
+            mem_every: 230,
+            write_pct: 25,
+        },
+    ]
+}
 
 /// All workloads in Table 2 order.
 pub fn all() -> &'static [WorkloadSpec] {
@@ -427,6 +436,130 @@ pub fn smoke_set() -> [&'static WorkloadSpec; 3] {
     ]
 }
 
+// ---- The scenario catalog type ------------------------------------------
+
+/// One named scenario: a composite workload plus its catalog metadata.
+///
+/// For `Mix` scenarios the wrapped spec's `mem_every`/`write_pct` are
+/// *headline* values only (reports, accounting bounds): generation is
+/// driven entirely by each part's own `MixPart::mem_every`/`write_pct`.
+/// Tune a mix's intensity in its part list, not in the spec.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Scenario {
+    /// One-line description printed by `reproduce scenario --list`.
+    pub summary: String,
+    /// The workload the simulator runs (its `name`/`class` are the
+    /// scenario's name and expected MPKI class).
+    pub workload: WorkloadSpec,
+}
+
+impl Scenario {
+    /// The scenario's name (shared with the wrapped workload).
+    pub fn name(&self) -> &str {
+        &self.workload.name
+    }
+
+    /// The scenario's expected MPKI class.
+    pub fn class(&self) -> MpkiClass {
+        self.workload.class
+    }
+}
+
+/// An owned, name-indexed collection of [`Scenario`] values.
+///
+/// This is the unit the whole scenario machinery works over: the 8
+/// built-ins ([`crate::scenarios::builtin`]), a `.scn` spec file
+/// ([`Catalog::from_scn_str`]), or a seeded generated catalog
+/// ([`Catalog::generate`]) all produce one, and `sim`'s grid / shard /
+/// cluster / runlog layers identify a scenario by its *name* within the
+/// catalog, never by address.
+#[derive(Clone, Debug, Default)]
+pub struct Catalog {
+    scenarios: Vec<Scenario>,
+    index: HashMap<String, usize>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Adds a scenario; rejects duplicate names (the name is the identity,
+    /// so a catalog with two scenarios of one name is meaningless).
+    pub fn push(&mut self, scenario: Scenario) -> Result<(), String> {
+        let name = scenario.name().to_owned();
+        if self.index.contains_key(&name) {
+            return Err(format!("duplicate scenario name '{name}'"));
+        }
+        self.index.insert(name, self.scenarios.len());
+        self.scenarios.push(scenario);
+        Ok(())
+    }
+
+    /// Number of scenarios.
+    pub fn len(&self) -> usize {
+        self.scenarios.len()
+    }
+
+    /// True when the catalog holds no scenarios.
+    pub fn is_empty(&self) -> bool {
+        self.scenarios.is_empty()
+    }
+
+    /// The scenarios in insertion (catalog) order.
+    pub fn iter(&self) -> impl Iterator<Item = &Scenario> {
+        self.scenarios.iter()
+    }
+
+    /// The scenarios in insertion (catalog) order, as a slice.
+    pub fn as_slice(&self) -> &[Scenario] {
+        &self.scenarios
+    }
+
+    /// O(1) lookup by name via the catalog's name index.
+    pub fn by_name(&self, name: &str) -> Option<&Scenario> {
+        self.index.get(name).map(|&i| &self.scenarios[i])
+    }
+
+    /// The workload of scenario `name`.
+    pub fn workload_of(&self, name: &str) -> Option<&WorkloadSpec> {
+        self.by_name(name).map(|s| &s.workload)
+    }
+
+    /// The closest catalog name within Levenshtein distance 2 of `name` —
+    /// the "did you mean" suggestion for CLI typos. Ties break to the
+    /// earlier catalog entry.
+    pub fn nearest(&self, name: &str) -> Option<&str> {
+        self.scenarios
+            .iter()
+            .filter_map(|s| {
+                let d = edit_distance(name, s.name());
+                (d <= 2).then_some((d, s.name()))
+            })
+            .min_by_key(|&(d, _)| d)
+            .map(|(_, n)| n)
+    }
+}
+
+/// Plain Levenshtein distance, early-exited only by its inputs' size (the
+/// names involved are tens of bytes, so the O(nm) table is irrelevant).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -441,7 +574,7 @@ mod tests {
 
     #[test]
     fn names_are_unique() {
-        let mut names: Vec<_> = ALL.iter().map(|s| s.name).collect();
+        let mut names: Vec<_> = ALL.iter().map(|s| s.name.as_str()).collect();
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), 30);

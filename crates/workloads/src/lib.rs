@@ -44,10 +44,11 @@
 pub mod catalog;
 mod patterns;
 pub mod scenarios;
+pub mod scn;
 mod spec;
 
+pub use catalog::{Catalog, Scenario};
 pub use patterns::{MixPart, PatternSpec, Phase, TraceGen};
-pub use scenarios::ScenarioSpec;
 pub use spec::{MpkiClass, PaperRow, WorkloadKind, WorkloadSpec};
 
 use sim_types::rng::SplitMix64;
@@ -57,7 +58,7 @@ use sim_types::rng::SplitMix64;
 /// runner needs.
 #[derive(Clone, Debug)]
 pub struct Workload {
-    spec: &'static WorkloadSpec,
+    spec: WorkloadSpec,
     sources: Vec<TraceGen>,
     footprint_bytes: u64,
     shared_address_space: bool,
@@ -77,11 +78,11 @@ impl Workload {
     /// # Panics
     ///
     /// Panics if `cores == 0` or `scale_den == 0`.
-    pub fn build(spec: &'static WorkloadSpec, cores: usize, scale_den: u64, seed: u64) -> Self {
+    pub fn build(spec: &WorkloadSpec, cores: usize, scale_den: u64, seed: u64) -> Self {
         assert!(cores > 0, "workload needs at least one core");
         assert!(scale_den > 0, "scale denominator must be non-zero");
         let total = (spec.paper.footprint_bytes() / scale_den).max(64 * 1024);
-        let mut root = SplitMix64::new(seed ^ hash_name(spec.name));
+        let mut root = SplitMix64::new(seed ^ hash_name(&spec.name));
         let shared = spec.kind == WorkloadKind::MultiThreaded;
         let sources = (0..cores)
             .map(|core| {
@@ -91,7 +92,7 @@ impl Workload {
                     // a shared region at the bottom of the address space.
                     let part = total / cores as u64;
                     TraceGen::new(
-                        spec.pattern,
+                        spec.pattern.clone(),
                         spec.mem_every,
                         spec.write_pct,
                         core as u64 * part,
@@ -104,7 +105,7 @@ impl Workload {
                     // core's virtual space to disjoint physical pages.
                     let part = (total / cores as u64).max(64 * 1024);
                     TraceGen::new(
-                        spec.pattern,
+                        spec.pattern.clone(),
                         spec.mem_every,
                         spec.write_pct,
                         0,
@@ -116,16 +117,16 @@ impl Workload {
             })
             .collect();
         Workload {
-            spec,
+            spec: spec.clone(),
             sources,
             footprint_bytes: total,
             shared_address_space: shared,
         }
     }
 
-    /// The static specification this workload was built from.
-    pub fn spec(&self) -> &'static WorkloadSpec {
-        self.spec
+    /// The specification this workload was built from.
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
     }
 
     /// Scaled total footprint in bytes.

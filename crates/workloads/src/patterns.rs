@@ -10,7 +10,11 @@ use sim_types::{TraceOp, TraceSource, VAddr};
 /// locality (hot working sets, re-walked tiles); these primitives expose
 /// both as explicit knobs. All footprint-relative parameters are expressed
 /// in basis points (1 bp = 0.01%) so specs stay valid under scaling.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+///
+/// Leaf variants carry only scalars; the composite variants own their
+/// phase/part lists, so pattern trees can be built at runtime (by the
+/// `.scn` scenario compiler and generator) as well as in code.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum PatternSpec {
     /// Dense sequential walk with a small element stride and **no reuse** —
     /// the paper singles out dc.B's "streaming nature ... little potential
@@ -84,15 +88,16 @@ pub enum PatternSpec {
         /// Percentage of gathers that stay in the hot region.
         hot_pct: u8,
     },
-    /// Concatenation of leaf patterns with exact per-phase op budgets —
+    /// Concatenation of sub-patterns with exact per-phase op budgets —
     /// program *phase changes* (hot-set drift, compute/IO alternation)
     /// that single-phase loops never exercise. The phase list cycles
     /// indefinitely: after the last phase's budget is spent the stream
     /// re-enters phase 0 (trace sources are unbounded by contract).
     Phased {
         /// The phases, in execution order. Must be non-empty, each with a
-        /// non-zero op budget and a leaf (non-composite) pattern.
-        phases: &'static [Phase],
+        /// non-zero op budget and a leaf or [`PatternSpec::Mix`] pattern
+        /// (a mix phase models tenants entering/leaving at op budgets).
+        phases: Vec<Phase>,
     },
     /// Deterministic weighted interleave of 2–4 co-running programs, each
     /// confined to its own disjoint slice of the footprint — multi-program
@@ -103,23 +108,30 @@ pub enum PatternSpec {
     Mix {
         /// The co-running programs. Must be 2–4 parts, each with a leaf
         /// pattern, a non-zero weight, and slices that fit the region.
-        parts: &'static [MixPart],
+        parts: Vec<MixPart>,
     },
 }
 
 /// One phase of a [`PatternSpec::Phased`] stream.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Phase {
-    /// Leaf pattern driving this phase.
+    /// Pattern driving this phase: a leaf, or a [`PatternSpec::Mix`]
+    /// (tenant churn — the set of co-running programs changes when the
+    /// phase does).
     pub pattern: PatternSpec,
     /// Memory references generated before the next phase begins. The
     /// boundary is exact: op `sum(budgets so far)` is the last op of the
     /// phase and the very next op comes from the following phase.
     pub ops: u64,
+    /// Per-phase intensity override: mean instructions per memory
+    /// reference while this phase runs. `None` inherits the workload's
+    /// `mem_every` (diurnal schedules alternate quiet/busy phases by
+    /// overriding it per phase).
+    pub mem_every: Option<u32>,
 }
 
 /// One co-running program of a [`PatternSpec::Mix`] stream.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct MixPart {
     /// Leaf pattern of this program.
     pub pattern: PatternSpec,
@@ -143,12 +155,18 @@ impl PatternSpec {
     }
 
     /// The largest `mem_every` any op of this pattern can be generated
-    /// with: `default` for leaf and phased patterns (phases inherit the
-    /// spec's intensity), the max over parts for a mix (each part has its
-    /// own). Bounds the per-op gap for instruction-accounting invariants.
+    /// with: `default` for leaf patterns, the max over parts for a mix
+    /// (each part has its own), and the recursive max over phases for a
+    /// phased pattern (each phase may override the default and may itself
+    /// be a mix). Bounds the per-op gap for instruction-accounting
+    /// invariants.
     pub fn max_mem_every(&self, default: u32) -> u32 {
         match self {
             PatternSpec::Mix { parts } => parts.iter().map(|p| p.mem_every).fold(default, u32::max),
+            PatternSpec::Phased { phases } => phases
+                .iter()
+                .map(|ph| ph.pattern.max_mem_every(ph.mem_every.unwrap_or(default)))
+                .fold(default, u32::max),
             _ => default,
         }
     }
@@ -212,8 +230,12 @@ enum Sched {
     /// Leaf pattern: no delegation.
     Leaf,
     /// Phased: kid `idx` produces the next `left` ops, then the next phase
-    /// (cyclically) takes over with a fresh budget.
-    Phased { idx: usize, left: u64 },
+    /// (cyclically) takes over with a fresh budget from `budgets`.
+    Phased {
+        idx: usize,
+        left: u64,
+        budgets: Vec<u64>,
+    },
     /// Mix: `order[pos]` names the kid producing the next op.
     Mix { order: Vec<u8>, pos: usize },
 }
@@ -226,9 +248,10 @@ impl TraceGen {
     ///
     /// Panics if `size` is smaller than 4 KB (degenerate regions make the
     /// pattern arithmetic meaningless), or if a composite pattern is
-    /// structurally invalid: empty/zero-budget phases, nested composites,
-    /// fewer than 2 or more than 4 mix parts, zero mix weights, or mix
-    /// slices that do not fit the region.
+    /// structurally invalid: empty/zero-budget phases, phases nesting
+    /// another `Phased`, a zero phase `mem_every` override, fewer than 2
+    /// or more than 4 mix parts, mix parts that are not leaves, zero mix
+    /// weights, or mix slices that do not fit the region.
     pub fn new(
         pattern: PatternSpec,
         mem_every: u32,
@@ -242,18 +265,25 @@ impl TraceGen {
             size >= 4096,
             "trace region must be at least 4 KB, got {size}"
         );
-        let (kids, sched) = match pattern {
+        let (kids, sched) = match &pattern {
             PatternSpec::Phased { phases } => {
                 assert!(!phases.is_empty(), "Phased needs at least one phase");
                 let kids = phases
                     .iter()
                     .map(|ph| {
-                        assert!(!ph.pattern.is_composite(), "phases must be leaf patterns");
+                        assert!(
+                            !matches!(ph.pattern, PatternSpec::Phased { .. }),
+                            "phases must not nest phased patterns"
+                        );
                         assert!(ph.ops > 0, "phase op budgets must be non-zero");
+                        assert!(
+                            ph.mem_every != Some(0),
+                            "phase mem_every overrides must be non-zero"
+                        );
                         let fork = rng.fork();
                         TraceGen::new(
-                            ph.pattern,
-                            mem_every,
+                            ph.pattern.clone(),
+                            ph.mem_every.unwrap_or(mem_every),
                             write_pct,
                             base,
                             size,
@@ -267,6 +297,7 @@ impl TraceGen {
                     Sched::Phased {
                         idx: 0,
                         left: phases[0].ops,
+                        budgets: phases.iter().map(|ph| ph.ops).collect(),
                     },
                 )
             }
@@ -294,7 +325,7 @@ impl TraceGen {
                         let span = (size * u64::from(p.span_bp) / 10_000).max(4096);
                         let fork = rng.fork();
                         let kid = TraceGen::new(
-                            p.pattern,
+                            p.pattern.clone(),
                             p.mem_every,
                             p.write_pct,
                             base + offset,
@@ -342,15 +373,15 @@ impl TraceGen {
     }
 
     /// The pattern this generator follows.
-    pub fn pattern(&self) -> PatternSpec {
-        self.pattern
+    pub fn pattern(&self) -> &PatternSpec {
+        &self.pattern
     }
 
     /// For a [`PatternSpec::Phased`] generator: the index of the phase the
     /// *next* op will come from. `None` for every other pattern.
     pub fn phase_index(&self) -> Option<usize> {
         match &self.sched {
-            Sched::Phased { idx, left } => {
+            Sched::Phased { idx, left, .. } => {
                 // A spent budget means the next op re-enters the following
                 // phase (cyclically) even though `idx` has not advanced yet.
                 if *left == 0 {
@@ -490,13 +521,10 @@ impl TraceSource for TraceGen {
         // and part streams are independent of the interleave around them.
         match &mut self.sched {
             Sched::Leaf => {}
-            Sched::Phased { idx, left } => {
+            Sched::Phased { idx, left, budgets } => {
                 if *left == 0 {
-                    let PatternSpec::Phased { phases } = self.pattern else {
-                        unreachable!("Phased sched implies Phased pattern")
-                    };
-                    *idx = (*idx + 1) % self.kids.len();
-                    *left = phases[*idx].ops;
+                    *idx = (*idx + 1) % budgets.len();
+                    *left = budgets[*idx];
                 }
                 *left -= 1;
                 let i = *idx;
@@ -586,7 +614,7 @@ mod tests {
             },
         ] {
             let size = 1 << 20;
-            let mut g = TraceGen::new(p, 5, 10, 1 << 30, size, 0, SplitMix64::new(3));
+            let mut g = TraceGen::new(p.clone(), 5, 10, 1 << 30, size, 0, SplitMix64::new(3));
             for _ in 0..5000 {
                 let op = g.next_op().unwrap();
                 let a = op.addr.raw();
@@ -808,17 +836,19 @@ mod tests {
 
     #[test]
     fn phased_switches_exactly_on_budgets_and_cycles() {
-        static PHASES: [Phase; 2] = [
+        let phases = vec![
             Phase {
                 pattern: PatternSpec::Stream { stride: 64 },
                 ops: 100,
+                mem_every: None,
             },
             Phase {
                 pattern: PatternSpec::Random,
                 ops: 40,
+                mem_every: None,
             },
         ];
-        let mut g = gen(PatternSpec::Phased { phases: &PHASES }, 1 << 20);
+        let mut g = gen(PatternSpec::Phased { phases }, 1 << 20);
         // Two full cycles: ops 0..100 from phase 0, 100..140 from phase 1,
         // 140..240 from phase 0 again, …
         for n in 0..280u64 {
@@ -834,17 +864,19 @@ mod tests {
 
     #[test]
     fn phased_stream_phase_is_really_sequential() {
-        static PHASES: [Phase; 2] = [
+        let phases = vec![
             Phase {
                 pattern: PatternSpec::Stream { stride: 8 },
                 ops: 50,
+                mem_every: None,
             },
             Phase {
                 pattern: PatternSpec::Random,
                 ops: 50,
+                mem_every: None,
             },
         ];
-        let mut g = gen(PatternSpec::Phased { phases: &PHASES }, 1 << 20);
+        let mut g = gen(PatternSpec::Phased { phases }, 1 << 20);
         let ops = collect(&mut g, 50);
         for w in ops.windows(2) {
             let (a, b) = (w[0].addr.raw(), w[1].addr.raw());
@@ -854,7 +886,7 @@ mod tests {
 
     #[test]
     fn mix_parts_stay_in_their_slices() {
-        static PARTS: [MixPart; 2] = [
+        let parts = vec![
             MixPart {
                 pattern: PatternSpec::Stream { stride: 8 },
                 mem_every: 5,
@@ -871,7 +903,7 @@ mod tests {
             },
         ];
         let size = 1u64 << 20;
-        let mut g = gen(PatternSpec::Mix { parts: &PARTS }, size);
+        let mut g = gen(PatternSpec::Mix { parts }, size);
         let span0 = size * 5000 / 10_000;
         let span1 = size * 4000 / 10_000;
         let order = wrr_order(&[2, 1]);
@@ -891,7 +923,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "private programs")]
     fn mix_rejects_shared_address_space() {
-        static PARTS: [MixPart; 2] = [
+        let parts = vec![
             MixPart {
                 pattern: PatternSpec::Random,
                 mem_every: 5,
@@ -908,7 +940,7 @@ mod tests {
             },
         ];
         let _ = TraceGen::new(
-            PatternSpec::Mix { parts: &PARTS },
+            PatternSpec::Mix { parts },
             5,
             0,
             0,
@@ -921,7 +953,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "overflow the region")]
     fn oversized_mix_slices_rejected() {
-        static PARTS: [MixPart; 2] = [
+        let parts = vec![
             MixPart {
                 pattern: PatternSpec::Random,
                 mem_every: 5,
@@ -937,26 +969,160 @@ mod tests {
                 weight: 1,
             },
         ];
-        let _ = gen(PatternSpec::Mix { parts: &PARTS }, 1 << 20);
+        let _ = gen(PatternSpec::Mix { parts }, 1 << 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not nest phased")]
+    fn nested_phased_rejected() {
+        let inner = vec![Phase {
+            pattern: PatternSpec::Random,
+            ops: 10,
+            mem_every: None,
+        }];
+        let outer = vec![Phase {
+            pattern: PatternSpec::Phased { phases: inner },
+            ops: 10,
+            mem_every: None,
+        }];
+        let _ = gen(PatternSpec::Phased { phases: outer }, 1 << 20);
     }
 
     #[test]
     #[should_panic(expected = "leaf patterns")]
-    fn nested_composites_rejected() {
-        static INNER: [Phase; 1] = [Phase {
+    fn mix_inside_mix_rejected() {
+        let inner = vec![
+            MixPart {
+                pattern: PatternSpec::Random,
+                mem_every: 5,
+                write_pct: 0,
+                span_bp: 2000,
+                weight: 1,
+            },
+            MixPart {
+                pattern: PatternSpec::Random,
+                mem_every: 5,
+                write_pct: 0,
+                span_bp: 2000,
+                weight: 1,
+            },
+        ];
+        let parts = vec![
+            MixPart {
+                pattern: PatternSpec::Mix { parts: inner },
+                mem_every: 5,
+                write_pct: 0,
+                span_bp: 4000,
+                weight: 1,
+            },
+            MixPart {
+                pattern: PatternSpec::Random,
+                mem_every: 5,
+                write_pct: 0,
+                span_bp: 4000,
+                weight: 1,
+            },
+        ];
+        let _ = gen(PatternSpec::Mix { parts }, 1 << 20);
+    }
+
+    /// Tenant churn: a phase may be a whole `Mix`, so the set of
+    /// co-running programs changes at exact op budgets.
+    #[test]
+    fn mix_phase_inside_phased_is_allowed_and_confined() {
+        let tenants = vec![
+            MixPart {
+                pattern: PatternSpec::Stream { stride: 8 },
+                mem_every: 5,
+                write_pct: 30,
+                span_bp: 5000,
+                weight: 2,
+            },
+            MixPart {
+                pattern: PatternSpec::Random,
+                mem_every: 50,
+                write_pct: 10,
+                span_bp: 4000,
+                weight: 1,
+            },
+        ];
+        let phases = vec![
+            Phase {
+                pattern: PatternSpec::Stream { stride: 64 },
+                ops: 100,
+                mem_every: None,
+            },
+            Phase {
+                pattern: PatternSpec::Mix { parts: tenants },
+                ops: 200,
+                mem_every: None,
+            },
+        ];
+        let size = 1u64 << 20;
+        let mut g = gen(PatternSpec::Phased { phases }, size);
+        for n in 0..600u64 {
+            let expect = if n % 300 < 100 { 0 } else { 1 };
+            assert_eq!(g.phase_index(), Some(expect), "op {n}");
+            let a = g.next_op().unwrap().addr.raw();
+            assert!(a < size, "churn op escaped: {a:#x}");
+        }
+    }
+
+    /// Diurnal schedules: a phase-level `mem_every` override drives that
+    /// phase's gaps; `None` inherits the workload default.
+    #[test]
+    fn phase_mem_every_override_changes_gap_mean() {
+        let phases = vec![
+            Phase {
+                pattern: PatternSpec::Random,
+                ops: 5_000,
+                mem_every: Some(100),
+            },
+            Phase {
+                pattern: PatternSpec::Random,
+                ops: 5_000,
+                mem_every: None,
+            },
+        ];
+        let mut g = TraceGen::new(
+            PatternSpec::Phased { phases },
+            10,
+            0,
+            0,
+            1 << 20,
+            0,
+            SplitMix64::new(7),
+        );
+        let busy: Vec<TraceOp> = collect(&mut g, 5_000);
+        let quiet: Vec<TraceOp> = collect(&mut g, 5_000);
+        let mean =
+            |ops: &[TraceOp]| ops.iter().map(|o| f64::from(o.gap)).sum::<f64>() / ops.len() as f64;
+        assert!(
+            (mean(&busy) - 99.0).abs() < 5.0,
+            "override phase mean gap was {}",
+            mean(&busy)
+        );
+        assert!(
+            (mean(&quiet) - 9.0).abs() < 1.0,
+            "inherit phase mean gap was {}",
+            mean(&quiet)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "overrides must be non-zero")]
+    fn zero_phase_mem_every_override_rejected() {
+        let phases = vec![Phase {
             pattern: PatternSpec::Random,
             ops: 10,
+            mem_every: Some(0),
         }];
-        static OUTER: [Phase; 1] = [Phase {
-            pattern: PatternSpec::Phased { phases: &INNER },
-            ops: 10,
-        }];
-        let _ = gen(PatternSpec::Phased { phases: &OUTER }, 1 << 20);
+        let _ = gen(PatternSpec::Phased { phases }, 1 << 20);
     }
 
     #[test]
     fn max_mem_every_covers_mix_parts() {
-        static PARTS: [MixPart; 2] = [
+        let parts = vec![
             MixPart {
                 pattern: PatternSpec::Random,
                 mem_every: 500,
@@ -972,13 +1138,35 @@ mod tests {
                 weight: 1,
             },
         ];
-        assert_eq!(PatternSpec::Mix { parts: &PARTS }.max_mem_every(10), 500);
+        assert_eq!(
+            PatternSpec::Mix {
+                parts: parts.clone()
+            }
+            .max_mem_every(10),
+            500
+        );
         assert_eq!(PatternSpec::Random.max_mem_every(10), 10);
-        static PHASES: [Phase; 1] = [Phase {
+        let phases = vec![Phase {
             pattern: PatternSpec::Random,
             ops: 10,
+            mem_every: None,
         }];
-        assert_eq!(PatternSpec::Phased { phases: &PHASES }.max_mem_every(7), 7);
+        assert_eq!(PatternSpec::Phased { phases }.max_mem_every(7), 7);
+        // Recursive: a phase override above the default, and a mix phase
+        // whose parts run hotter still, both raise the bound.
+        let phases = vec![
+            Phase {
+                pattern: PatternSpec::Random,
+                ops: 10,
+                mem_every: Some(90),
+            },
+            Phase {
+                pattern: PatternSpec::Mix { parts },
+                ops: 10,
+                mem_every: None,
+            },
+        ];
+        assert_eq!(PatternSpec::Phased { phases }.max_mem_every(7), 500);
     }
 }
 
@@ -1019,7 +1207,7 @@ mod proptests {
             seed in any::<u64>(),
         ) {
             let size = size_kb * 1024;
-            let mut g = TraceGen::new(pattern, 5, 20, base, size, 0, SplitMix64::new(seed));
+            let mut g = TraceGen::new(pattern.clone(), 5, 20, base, size, 0, SplitMix64::new(seed));
             for _ in 0..500 {
                 let op = g.next_op().unwrap();
                 prop_assert!(op.addr.raw() >= base && op.addr.raw() < base + size,
@@ -1030,7 +1218,7 @@ mod proptests {
         /// Generators are deterministic functions of their seed.
         #[test]
         fn generator_determinism(pattern in arb_pattern(), seed in any::<u64>()) {
-            let mk = || TraceGen::new(pattern, 7, 25, 0, 1 << 20, 0, SplitMix64::new(seed));
+            let mk = || TraceGen::new(pattern.clone(), 7, 25, 0, 1 << 20, 0, SplitMix64::new(seed));
             let (mut a, mut b) = (mk(), mk());
             for _ in 0..200 {
                 prop_assert_eq!(a.next_op(), b.next_op());
@@ -1046,15 +1234,18 @@ mod proptests {
             base in (0u64..1u64<<30).prop_map(|b| b & !4095),
             seed in any::<u64>(),
         ) {
-            let phases: &'static [Phase] = Box::leak(
-                raw.iter()
-                    .map(|&(pattern, ops)| Phase { pattern, ops })
-                    .collect::<Vec<_>>()
-                    .into_boxed_slice(),
-            );
+            let phases: Vec<Phase> = raw
+                .iter()
+                .map(|(pattern, ops)| Phase {
+                    pattern: pattern.clone(),
+                    ops: *ops,
+                    mem_every: None,
+                })
+                .collect();
             let size = 1u64 << 20;
             let mut g = TraceGen::new(
-                PatternSpec::Phased { phases }, 5, 20, base, size, 0, SplitMix64::new(seed),
+                PatternSpec::Phased { phases: phases.clone() },
+                5, 20, base, size, 0, SplitMix64::new(seed),
             );
             for cycle in 0..2 {
                 for (i, ph) in phases.iter().enumerate() {
@@ -1079,23 +1270,26 @@ mod proptests {
                 (arb_pattern(), 1u32..300, 0u8..=100, 500u32..2400, 1u8..6), 2..5),
             seed in any::<u64>(),
         ) {
-            let parts: &'static [MixPart] = Box::leak(
-                raw.iter()
-                    .map(|&(pattern, mem_every, write_pct, span_bp, weight)| MixPart {
-                        pattern, mem_every, write_pct, span_bp, weight,
-                    })
-                    .collect::<Vec<_>>()
-                    .into_boxed_slice(),
-            );
+            let parts: Vec<MixPart> = raw
+                .iter()
+                .map(|(pattern, mem_every, write_pct, span_bp, weight)| MixPart {
+                    pattern: pattern.clone(),
+                    mem_every: *mem_every,
+                    write_pct: *write_pct,
+                    span_bp: *span_bp,
+                    weight: *weight,
+                })
+                .collect();
             let size = 1u64 << 20;
             let mut g = TraceGen::new(
-                PatternSpec::Mix { parts }, 5, 20, 0, size, 0, SplitMix64::new(seed),
+                PatternSpec::Mix { parts: parts.clone() },
+                5, 20, 0, size, 0, SplitMix64::new(seed),
             );
             // Recompute the slices and schedule the way the constructor
             // does; the generator must agree op for op.
             let mut slices = Vec::new();
             let mut offset = 0u64;
-            for p in parts {
+            for p in &parts {
                 let span = (size * u64::from(p.span_bp) / 10_000).max(4096);
                 slices.push(offset..offset + span);
                 offset += span;
@@ -1117,22 +1311,26 @@ mod proptests {
             spans in proptest::collection::vec((arb_pattern(), 1u32..100, 1u8..6), 2..5),
             seed in any::<u64>(),
         ) {
-            let phases: &'static [Phase] = Box::leak(
-                raw.iter()
-                    .map(|&(pattern, ops)| Phase { pattern, ops })
-                    .collect::<Vec<_>>()
-                    .into_boxed_slice(),
-            );
-            let parts: &'static [MixPart] = Box::leak(
-                spans.iter()
-                    .map(|&(pattern, mem_every, weight)| MixPart {
-                        pattern, mem_every, write_pct: 25, span_bp: 2000, weight,
-                    })
-                    .collect::<Vec<_>>()
-                    .into_boxed_slice(),
-            );
+            let phases: Vec<Phase> = raw
+                .iter()
+                .map(|(pattern, ops)| Phase {
+                    pattern: pattern.clone(),
+                    ops: *ops,
+                    mem_every: None,
+                })
+                .collect();
+            let parts: Vec<MixPart> = spans
+                .iter()
+                .map(|(pattern, mem_every, weight)| MixPart {
+                    pattern: pattern.clone(),
+                    mem_every: *mem_every,
+                    write_pct: 25,
+                    span_bp: 2000,
+                    weight: *weight,
+                })
+                .collect();
             for spec in [PatternSpec::Phased { phases }, PatternSpec::Mix { parts }] {
-                let mk = || TraceGen::new(spec, 7, 25, 0, 1 << 20, 0, SplitMix64::new(seed));
+                let mk = || TraceGen::new(spec.clone(), 7, 25, 0, 1 << 20, 0, SplitMix64::new(seed));
                 let (mut a, mut b) = (mk(), mk());
                 for _ in 0..300 {
                     prop_assert_eq!(a.next_op(), b.next_op());

@@ -1,4 +1,4 @@
-//! The scenario catalog: named phased and multi-program workloads.
+//! The built-in scenario catalog: named phased and multi-program workloads.
 //!
 //! The 30-entry benchmark catalog ([`crate::catalog`]) is single-phase and
 //! single-program — every core replays one stationary pattern forever. Real
@@ -9,10 +9,10 @@
 //! *adapts* to such dynamics, so the reproduction needs workloads that
 //! exercise them.
 //!
-//! Each [`ScenarioSpec`] wraps an ordinary [`WorkloadSpec`] whose pattern
+//! Each [`Scenario`] wraps an ordinary [`WorkloadSpec`] whose pattern
 //! is one of the two composite generators:
 //!
-//! * [`PatternSpec::Phased`] — leaf patterns concatenated with exact
+//! * [`PatternSpec::Phased`] — sub-patterns concatenated with exact
 //!   per-phase op budgets, cycling indefinitely (hot-set drift);
 //! * [`PatternSpec::Mix`] — a deterministic weighted interleave of 2–4
 //!   leaf programs confined to disjoint slices of the footprint
@@ -21,7 +21,14 @@
 //! Because a scenario *is* a `WorkloadSpec`, the whole experiment
 //! machinery — `Workload::build`, `run_one`, `Matrix` — runs scenarios
 //! unchanged; `sim::scenario` wires them to the CLI and report tables.
+//!
+//! The 8 built-ins here are one [`Catalog`] among several: `.scn` spec
+//! files and the seeded generator ([`Catalog::generate`]) produce catalogs
+//! of the same type, and everything downstream is catalog-agnostic.
 
+use std::sync::LazyLock;
+
+pub use crate::catalog::{Catalog, Scenario};
 use crate::patterns::{MixPart, PatternSpec, Phase};
 use crate::spec::{MpkiClass, PaperRow, WorkloadKind, WorkloadSpec};
 
@@ -29,38 +36,19 @@ use MpkiClass::{High, Low, Medium};
 use PatternSpec as P;
 use WorkloadKind::{MultiProgrammed as MP, MultiThreaded as MT};
 
-/// One named scenario: a composite workload plus its catalog metadata.
-///
-/// For `Mix` scenarios the wrapped spec's `mem_every`/`write_pct` are
-/// *headline* values only (reports, accounting bounds): generation is
-/// driven entirely by each part's own `MixPart::mem_every`/`write_pct`.
-/// Tune a mix's intensity in its part list, not in the spec.
-#[derive(Clone, Copy, Debug)]
-pub struct ScenarioSpec {
-    /// One-line description printed by `reproduce scenario --list`.
-    pub summary: &'static str,
-    /// The workload the simulator runs (its `name`/`class` are the
-    /// scenario's name and expected MPKI class).
-    pub workload: WorkloadSpec,
-}
-
-impl ScenarioSpec {
-    /// The scenario's name (shared with the wrapped workload).
-    pub fn name(&self) -> &'static str {
-        self.workload.name
-    }
-
-    /// The scenario's expected MPKI class.
-    pub fn class(&self) -> MpkiClass {
-        self.workload.class
-    }
-}
-
 const fn row(mpki: f64, footprint_gb: f64, traffic_gb: f64) -> PaperRow {
     PaperRow {
         mpki,
         footprint_gb,
         traffic_gb,
+    }
+}
+
+fn phase(pattern: PatternSpec, ops: u64) -> Phase {
+    Phase {
+        pattern,
+        ops,
+        mem_every: None,
     }
 }
 
@@ -77,342 +65,377 @@ const fn row(mpki: f64, footprint_gb: f64, traffic_gb: f64) -> PaperRow {
 
 /// Stencil tiles → pointer chase → finer tiles: a grid code alternating
 /// compute kernels with an irregular graph pass.
-static TILE_CHASE_DRIFT: [Phase; 3] = [
-    Phase {
-        pattern: P::TiledStream {
-            stride: 32,
-            tile_bp: 400,
-            repeats: 2,
-        },
-        ops: 5_000,
-    },
-    Phase {
-        pattern: P::PointerChase {
-            hot_bp: 2000,
-            hot_pct: 85,
-        },
-        ops: 5_000,
-    },
-    Phase {
-        pattern: P::TiledStream {
-            stride: 16,
-            tile_bp: 400,
-            repeats: 2,
-        },
-        ops: 5_000,
-    },
-];
+fn tile_chase_drift() -> Vec<Phase> {
+    vec![
+        phase(
+            P::TiledStream {
+                stride: 32,
+                tile_bp: 400,
+                repeats: 2,
+            },
+            5_000,
+        ),
+        phase(
+            P::PointerChase {
+                hot_bp: 2000,
+                hot_pct: 85,
+            },
+            5_000,
+        ),
+        phase(
+            P::TiledStream {
+                stride: 16,
+                tile_bp: 400,
+                repeats: 2,
+            },
+            5_000,
+        ),
+    ]
+}
 
 /// A warm hot set that abruptly gives way to a cold sequential sweep —
 /// the regime where caches adapt faster than migration (gcc, xz).
-static HOT_STREAM_DRIFT: [Phase; 2] = [
-    Phase {
-        pattern: P::Hotspot {
-            hot_bp: 1200,
-            hot_pct: 85,
-        },
-        ops: 1_200,
-    },
-    Phase {
-        pattern: P::Stream { stride: 8 },
-        ops: 1_200,
-    },
-];
+fn hot_stream_drift() -> Vec<Phase> {
+    vec![
+        phase(
+            P::Hotspot {
+                hot_bp: 1200,
+                hot_pct: 85,
+            },
+            1_200,
+        ),
+        phase(P::Stream { stride: 8 }, 1_200),
+    ]
+}
 
 /// The working set shrinks mid-run: broad tiles, then small re-walked
 /// tiles, then a tight hot set (iterative solvers converging).
-static TILE_SHRINK: [Phase; 3] = [
-    Phase {
-        pattern: P::TiledStream {
-            stride: 64,
-            tile_bp: 800,
-            repeats: 2,
-        },
-        ops: 600,
-    },
-    Phase {
-        pattern: P::TiledStream {
-            stride: 64,
-            tile_bp: 100,
-            repeats: 4,
-        },
-        ops: 600,
-    },
-    Phase {
-        pattern: P::Hotspot {
-            hot_bp: 200,
-            hot_pct: 90,
-        },
-        ops: 600,
-    },
-];
+fn tile_shrink() -> Vec<Phase> {
+    vec![
+        phase(
+            P::TiledStream {
+                stride: 64,
+                tile_bp: 800,
+                repeats: 2,
+            },
+            600,
+        ),
+        phase(
+            P::TiledStream {
+                stride: 64,
+                tile_bp: 100,
+                repeats: 4,
+            },
+            600,
+        ),
+        phase(
+            P::Hotspot {
+                hot_bp: 200,
+                hot_pct: 90,
+            },
+            600,
+        ),
+    ]
+}
 
 /// A mostly-quiet resident set with periodic streaming bursts — a
 /// low-MPKI service with batch episodes.
-static QUIET_BURST: [Phase; 2] = [
-    Phase {
-        pattern: P::Hotspot {
-            hot_bp: 150,
-            hot_pct: 97,
-        },
-        ops: 700,
-    },
-    Phase {
-        pattern: P::StreamMix {
-            stream_pct: 60,
-            stride: 8,
-            hot_bp: 1000,
-            hot_pct: 80,
-        },
-        ops: 200,
-    },
-];
+fn quiet_burst() -> Vec<Phase> {
+    vec![
+        phase(
+            P::Hotspot {
+                hot_bp: 150,
+                hot_pct: 97,
+            },
+            700,
+        ),
+        phase(
+            P::StreamMix {
+                stream_pct: 60,
+                stride: 8,
+                hot_bp: 1000,
+                hot_pct: 80,
+            },
+            200,
+        ),
+    ]
+}
 
 // ---- Mix part lists ------------------------------------------------------
 
 /// A dense streamer co-running with a pointer chaser (lbm ∥ mcf).
-static STREAM_CHASE: [MixPart; 2] = [
-    MixPart {
-        pattern: P::Stream { stride: 8 },
-        mem_every: 6,
-        write_pct: 30,
-        span_bp: 5000,
-        weight: 3,
-    },
-    MixPart {
-        pattern: P::PointerChase {
-            hot_bp: 2000,
-            hot_pct: 85,
+fn stream_chase() -> Vec<MixPart> {
+    vec![
+        MixPart {
+            pattern: P::Stream { stride: 8 },
+            mem_every: 6,
+            write_pct: 30,
+            span_bp: 5000,
+            weight: 3,
         },
-        mem_every: 40,
-        write_pct: 15,
-        span_bp: 4800,
-        weight: 1,
-    },
-];
+        MixPart {
+            pattern: P::PointerChase {
+                hot_bp: 2000,
+                hot_pct: 85,
+            },
+            mem_every: 40,
+            write_pct: 15,
+            span_bp: 4800,
+            weight: 1,
+        },
+    ]
+}
 
 /// A latency-sensitive hot-set walker squeezed by a bandwidth hog — the
 /// canonical co-run interference victim study.
-static BANDWIDTH_VICTIM: [MixPart; 2] = [
-    MixPart {
-        pattern: P::Hotspot {
-            hot_bp: 300,
-            hot_pct: 95,
-        },
-        mem_every: 80,
-        write_pct: 20,
-        span_bp: 2000,
-        weight: 1,
-    },
-    MixPart {
-        pattern: P::TiledStream {
-            stride: 16,
-            tile_bp: 400,
-            repeats: 2,
-        },
-        mem_every: 12,
-        write_pct: 30,
-        span_bp: 7800,
-        weight: 2,
-    },
-];
-
-/// Four dissimilar programs sharing the machine: stream, hot set, uniform
-/// random, and stencil tiles.
-static QUAD_MIX: [MixPart; 4] = [
-    MixPart {
-        pattern: P::Stream { stride: 8 },
-        mem_every: 15,
-        write_pct: 30,
-        span_bp: 3000,
-        weight: 2,
-    },
-    MixPart {
-        pattern: P::Hotspot {
-            hot_bp: 1500,
-            hot_pct: 75,
-        },
-        mem_every: 111,
-        write_pct: 30,
-        span_bp: 2500,
-        weight: 1,
-    },
-    MixPart {
-        pattern: P::Random,
-        mem_every: 500,
-        write_pct: 15,
-        span_bp: 2400,
-        weight: 1,
-    },
-    MixPart {
-        pattern: P::TiledStream {
-            stride: 32,
-            tile_bp: 400,
-            repeats: 2,
-        },
-        mem_every: 17,
-        write_pct: 30,
-        span_bp: 2000,
-        weight: 2,
-    },
-];
-
-/// Two programs that are *both* dynamic: a drifting hot set next to a
-/// tiled streamer — the hardest case for eviction-time history.
-static DRIFT_DUO: [MixPart; 2] = [
-    MixPart {
-        pattern: P::PhasedHotspot {
-            period: 150_000,
-            hot_bp: 200,
-            hot_pct: 70,
-        },
-        mem_every: 14,
-        write_pct: 25,
-        span_bp: 5000,
-        weight: 1,
-    },
-    MixPart {
-        pattern: P::TiledStream {
-            stride: 8,
-            tile_bp: 400,
-            repeats: 2,
-        },
-        mem_every: 5,
-        write_pct: 40,
-        span_bp: 4900,
-        weight: 1,
-    },
-];
-
-// ---- The catalog ---------------------------------------------------------
-
-/// All named scenarios, phased first, then mixes, high MPKI before low
-/// (mirroring the benchmark catalog's ordering convention).
-pub static SCENARIOS: [ScenarioSpec; 8] = [
-    ScenarioSpec {
-        summary: "stencil tiles -> pointer chase -> finer tiles (phase drift)",
-        workload: WorkloadSpec {
-            name: "tile-chase-drift",
-            kind: MT,
-            class: High,
-            paper: row(25.0, 4.0, 18.0),
-            pattern: P::Phased {
-                phases: &TILE_CHASE_DRIFT,
+fn bandwidth_victim() -> Vec<MixPart> {
+    vec![
+        MixPart {
+            pattern: P::Hotspot {
+                hot_bp: 300,
+                hot_pct: 95,
             },
-            mem_every: 9,
-            write_pct: 30,
+            mem_every: 80,
+            write_pct: 20,
+            span_bp: 2000,
+            weight: 1,
         },
-    },
-    ScenarioSpec {
-        summary: "warm hot set abruptly replaced by a cold sweep",
-        workload: WorkloadSpec {
-            name: "hot-stream-drift",
-            kind: MP,
-            class: Medium,
-            paper: row(8.0, 2.0, 6.0),
-            pattern: P::Phased {
-                phases: &HOT_STREAM_DRIFT,
-            },
-            mem_every: 60,
-            write_pct: 25,
-        },
-    },
-    ScenarioSpec {
-        summary: "working set shrinks: broad tiles -> small tiles -> hot set",
-        workload: WorkloadSpec {
-            name: "tile-shrink",
-            kind: MP,
-            class: Medium,
-            paper: row(5.0, 1.5, 4.0),
-            pattern: P::Phased {
-                phases: &TILE_SHRINK,
-            },
-            mem_every: 90,
-            write_pct: 25,
-        },
-    },
-    ScenarioSpec {
-        summary: "quiet resident set with periodic streaming bursts",
-        workload: WorkloadSpec {
-            name: "quiet-burst",
-            kind: MP,
-            class: Low,
-            paper: row(0.9, 0.4, 0.8),
-            pattern: P::Phased {
-                phases: &QUIET_BURST,
-            },
-            mem_every: 150,
-            write_pct: 25,
-        },
-    },
-    ScenarioSpec {
-        summary: "dense streamer co-running with a pointer chaser",
-        workload: WorkloadSpec {
-            name: "stream-chase",
-            kind: MP,
-            class: High,
-            paper: row(20.0, 3.0, 14.0),
-            pattern: P::Mix {
-                parts: &STREAM_CHASE,
-            },
-            mem_every: 6,
-            write_pct: 30,
-        },
-    },
-    ScenarioSpec {
-        summary: "latency-sensitive hot set beside a bandwidth hog",
-        workload: WorkloadSpec {
-            name: "bandwidth-victim",
-            kind: MP,
-            class: Medium,
-            paper: row(10.0, 2.5, 7.0),
-            pattern: P::Mix {
-                parts: &BANDWIDTH_VICTIM,
+        MixPart {
+            pattern: P::TiledStream {
+                stride: 16,
+                tile_bp: 400,
+                repeats: 2,
             },
             mem_every: 12,
             write_pct: 30,
+            span_bp: 7800,
+            weight: 2,
         },
-    },
-    ScenarioSpec {
-        summary: "four dissimilar programs: stream, hot set, random, tiles",
-        workload: WorkloadSpec {
-            name: "quad-mix",
-            kind: MP,
-            class: Medium,
-            paper: row(6.0, 4.0, 5.0),
-            pattern: P::Mix { parts: &QUAD_MIX },
+    ]
+}
+
+/// Four dissimilar programs sharing the machine: stream, hot set, uniform
+/// random, and stencil tiles.
+fn quad_mix() -> Vec<MixPart> {
+    vec![
+        MixPart {
+            pattern: P::Stream { stride: 8 },
             mem_every: 15,
             write_pct: 30,
+            span_bp: 3000,
+            weight: 2,
         },
-    },
-    ScenarioSpec {
-        summary: "drifting hot set co-running with a tiled streamer",
-        workload: WorkloadSpec {
-            name: "drift-duo",
-            kind: MP,
-            class: High,
-            paper: row(22.0, 2.0, 12.0),
-            pattern: P::Mix { parts: &DRIFT_DUO },
-            mem_every: 14,
+        MixPart {
+            pattern: P::Hotspot {
+                hot_bp: 1500,
+                hot_pct: 75,
+            },
+            mem_every: 111,
             write_pct: 30,
+            span_bp: 2500,
+            weight: 1,
         },
-    },
-];
-
-/// All scenarios in catalog order.
-pub fn all() -> &'static [ScenarioSpec] {
-    &SCENARIOS
+        MixPart {
+            pattern: P::Random,
+            mem_every: 500,
+            write_pct: 15,
+            span_bp: 2400,
+            weight: 1,
+        },
+        MixPart {
+            pattern: P::TiledStream {
+                stride: 32,
+                tile_bp: 400,
+                repeats: 2,
+            },
+            mem_every: 17,
+            write_pct: 30,
+            span_bp: 2000,
+            weight: 2,
+        },
+    ]
 }
 
-/// Looks a scenario up by name (e.g. `"stream-chase"`).
-pub fn by_name(name: &str) -> Option<&'static ScenarioSpec> {
-    SCENARIOS.iter().find(|s| s.name() == name)
+/// Two programs that are *both* dynamic: a drifting hot set next to a
+/// tiled streamer — the hardest case for eviction-time history.
+fn drift_duo() -> Vec<MixPart> {
+    vec![
+        MixPart {
+            pattern: P::PhasedHotspot {
+                period: 150_000,
+                hot_bp: 200,
+                hot_pct: 70,
+            },
+            mem_every: 14,
+            write_pct: 25,
+            span_bp: 5000,
+            weight: 1,
+        },
+        MixPart {
+            pattern: P::TiledStream {
+                stride: 8,
+                tile_bp: 400,
+                repeats: 2,
+            },
+            mem_every: 5,
+            write_pct: 40,
+            span_bp: 4900,
+            weight: 1,
+        },
+    ]
 }
 
-/// The workload of scenario `name`, as the `&'static` reference
-/// `Matrix`/`run_one` need.
+// ---- The catalog ---------------------------------------------------------
+
+#[allow(clippy::too_many_arguments)]
+fn scenario(
+    name: &str,
+    summary: &str,
+    kind: WorkloadKind,
+    class: MpkiClass,
+    paper: PaperRow,
+    pattern: PatternSpec,
+    mem_every: u32,
+    write_pct: u8,
+) -> Scenario {
+    Scenario {
+        summary: summary.to_owned(),
+        workload: WorkloadSpec {
+            name: name.to_owned(),
+            kind,
+            class,
+            paper,
+            pattern,
+            mem_every,
+            write_pct,
+        },
+    }
+}
+
+/// Builds the 8 built-in scenarios, phased first, then mixes, high MPKI
+/// before low (mirroring the benchmark catalog's ordering convention).
+fn build_builtin() -> Catalog {
+    let mut cat = Catalog::new();
+    for s in [
+        scenario(
+            "tile-chase-drift",
+            "stencil tiles -> pointer chase -> finer tiles (phase drift)",
+            MT,
+            High,
+            row(25.0, 4.0, 18.0),
+            P::Phased {
+                phases: tile_chase_drift(),
+            },
+            9,
+            30,
+        ),
+        scenario(
+            "hot-stream-drift",
+            "warm hot set abruptly replaced by a cold sweep",
+            MP,
+            Medium,
+            row(8.0, 2.0, 6.0),
+            P::Phased {
+                phases: hot_stream_drift(),
+            },
+            60,
+            25,
+        ),
+        scenario(
+            "tile-shrink",
+            "working set shrinks: broad tiles -> small tiles -> hot set",
+            MP,
+            Medium,
+            row(5.0, 1.5, 4.0),
+            P::Phased {
+                phases: tile_shrink(),
+            },
+            90,
+            25,
+        ),
+        scenario(
+            "quiet-burst",
+            "quiet resident set with periodic streaming bursts",
+            MP,
+            Low,
+            row(0.9, 0.4, 0.8),
+            P::Phased {
+                phases: quiet_burst(),
+            },
+            150,
+            25,
+        ),
+        scenario(
+            "stream-chase",
+            "dense streamer co-running with a pointer chaser",
+            MP,
+            High,
+            row(20.0, 3.0, 14.0),
+            P::Mix {
+                parts: stream_chase(),
+            },
+            6,
+            30,
+        ),
+        scenario(
+            "bandwidth-victim",
+            "latency-sensitive hot set beside a bandwidth hog",
+            MP,
+            Medium,
+            row(10.0, 2.5, 7.0),
+            P::Mix {
+                parts: bandwidth_victim(),
+            },
+            12,
+            30,
+        ),
+        scenario(
+            "quad-mix",
+            "four dissimilar programs: stream, hot set, random, tiles",
+            MP,
+            Medium,
+            row(6.0, 4.0, 5.0),
+            P::Mix { parts: quad_mix() },
+            15,
+            30,
+        ),
+        scenario(
+            "drift-duo",
+            "drifting hot set co-running with a tiled streamer",
+            MP,
+            High,
+            row(22.0, 2.0, 12.0),
+            P::Mix { parts: drift_duo() },
+            14,
+            30,
+        ),
+    ] {
+        cat.push(s).expect("built-in scenario names are unique");
+    }
+    cat
+}
+
+static BUILTIN: LazyLock<Catalog> = LazyLock::new(build_builtin);
+
+/// The built-in 8-scenario catalog.
+pub fn builtin() -> &'static Catalog {
+    &BUILTIN
+}
+
+/// All built-in scenarios in catalog order.
+pub fn all() -> &'static [Scenario] {
+    BUILTIN.as_slice()
+}
+
+/// Looks a built-in scenario up by name (e.g. `"stream-chase"`) through
+/// the catalog's name index.
+pub fn by_name(name: &str) -> Option<&'static Scenario> {
+    BUILTIN.by_name(name)
+}
+
+/// The workload of built-in scenario `name`.
 pub fn workload_of(name: &str) -> Option<&'static WorkloadSpec> {
-    by_name(name).map(|s| &s.workload)
+    BUILTIN.workload_of(name)
 }
 
 #[cfg(test)]
@@ -423,8 +446,8 @@ mod tests {
 
     #[test]
     fn eight_scenarios_named_uniquely() {
-        assert_eq!(SCENARIOS.len(), 8);
-        let mut names: Vec<_> = SCENARIOS.iter().map(|s| s.name()).collect();
+        assert_eq!(all().len(), 8);
+        let mut names: Vec<_> = all().iter().map(|s| s.name().to_owned()).collect();
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), 8);
@@ -436,6 +459,15 @@ mod tests {
         assert!(by_name("quad-mix").is_some());
         assert!(by_name("nope").is_none());
         assert_eq!(workload_of("drift-duo").unwrap().name, "drift-duo");
+    }
+
+    #[test]
+    fn nearest_suggests_typo_fixes() {
+        let cat = builtin();
+        assert_eq!(cat.nearest("steam-chase"), Some("stream-chase"));
+        assert_eq!(cat.nearest("quad-mx"), Some("quad-mix"));
+        assert_eq!(cat.nearest("drift-duo"), Some("drift-duo"));
+        assert_eq!(cat.nearest("completely-unrelated"), None);
     }
 
     #[test]
@@ -497,6 +529,16 @@ mod tests {
         assert!(phased >= 2, "need phased scenarios, have {phased}");
         assert!(mixed >= 2, "need mix scenarios, have {mixed}");
         assert_eq!(phased + mixed, all().len());
+    }
+
+    #[test]
+    fn duplicate_names_rejected_by_catalog() {
+        let mut cat = Catalog::new();
+        let s = by_name("quad-mix").unwrap().clone();
+        cat.push(s.clone()).unwrap();
+        let err = cat.push(s).unwrap_err();
+        assert!(err.contains("duplicate"), "{err}");
+        assert!(err.contains("quad-mix"), "{err}");
     }
 
     #[test]

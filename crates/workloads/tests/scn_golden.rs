@@ -1,0 +1,145 @@
+//! Pins the generated scenario catalog: the first 100 outputs of
+//! `Catalog::generate(_, 2020)` are frozen as FNV-1a digests of their
+//! canonical `.scn` serialization. CI runs this test in the blocking
+//! `spec-verify` job, so the generator cannot drift silently — any change
+//! to generation order, parameter draws or the serializer shows up as a
+//! digest mismatch here and must be an intentional, reviewed regeneration
+//! (see README "Declarative scenarios").
+//!
+//! Regenerate after an *intentional* change with:
+//!
+//! ```text
+//! cargo test -p workloads --test scn_golden -- --nocapture print_digests
+//! ```
+
+use workloads::scn::{digest64, serialize_scenario};
+use workloads::Catalog;
+
+/// `digest64(serialize_scenario(s))` for each of `generate(100, 2020)`.
+const GOLDEN: [u64; 100] = [
+    0x97efc8d01cdb4b33,
+    0x2151e1aa58471be0,
+    0x01f87f6c2fdc059a,
+    0x9998ae057c7837f0,
+    0x6099ab9f0910b8c7,
+    0x3f90e31f69f1ed45,
+    0x7ff0eb6c8fbc74af,
+    0xe484365b147def75,
+    0x49527fc28359bbd6,
+    0x3ef9ebacb80853bd,
+    0x1d00892ba768c24d,
+    0x9e00b52294e17136,
+    0xfed785a1cd6efc7d,
+    0x1ab1d3c6e75d4cf5,
+    0x9496abe451c5b0df,
+    0x16d9924fddd101b7,
+    0x9f8cebbbc77ddd96,
+    0xf481ce9d68f5e187,
+    0xde748f6e285a30f8,
+    0xa02944d140a92186,
+    0xe3702038e9754f52,
+    0x64af0d3cd4f977c6,
+    0xdd7f6a965399ca81,
+    0x3e8c04cf7807226a,
+    0x13c2eb0a3f43379c,
+    0xa813e3a17abdd1f0,
+    0xa209ec1dbb0dbf9f,
+    0xa724a40230af6c2d,
+    0x4d7356274f2e657d,
+    0x9dff41bcfdca8a5e,
+    0xf0e39addb79b6cf0,
+    0x0c939b9b71ccb201,
+    0x2090e7ba716e6985,
+    0xd0e24ed6f7b1f562,
+    0x18b0b9a29fc78efe,
+    0x177d57954f6b7d09,
+    0xf422b5ddcb671fb9,
+    0x78d357c4c0e0b9e2,
+    0x85e293e6b76acb2e,
+    0x9834f782ea4f512f,
+    0x63b942675ba6b77c,
+    0x6f245915d41e1ef0,
+    0x1cd02fca707ded6b,
+    0x290a4fa4e1507e8e,
+    0x71cd3d70bdd0490a,
+    0xc73ce08acddb1cb0,
+    0xb544c7b67fdc5014,
+    0xf4ce552d900225cb,
+    0x50e782366f7d44a1,
+    0xf0da4a115e57b4d2,
+    0x506573ded7046581,
+    0xee9de62ca27ec0a5,
+    0x2a5294b3bcfcc297,
+    0x87b23d9f24baceda,
+    0x99b72f7203dd971f,
+    0x82a097c64963d9cf,
+    0xcb1cb8aec505d13e,
+    0x40d67b083b98c784,
+    0x5114db567a2e6e87,
+    0xf7c928f3e47e9325,
+    0x70d12b1fa50ffbd4,
+    0xeeb6380777fcf751,
+    0xf0a21c5f7e43fe3a,
+    0x71fe944627893f28,
+    0x0b6c3a6f795c4748,
+    0x12cb0487ffb00159,
+    0x0b2ab482d4ea53f1,
+    0x2cd82e406bea02e8,
+    0x5e4db26c0166c66e,
+    0xf35f0e6a1c3e85f4,
+    0x4ef3d8ee173780d9,
+    0x9aa6ad10b256e392,
+    0x14be1d54173d223f,
+    0x780ff8adeb165ca4,
+    0xb061512d5e635685,
+    0x43bea4d790a8072d,
+    0x85872ab8ebad545b,
+    0x43a046432b2e2f5c,
+    0xf27a54efdd9f0bcd,
+    0xa5a5d2dc2a3e61d2,
+    0x5362aa50cdf34f47,
+    0xee60d1383b78d34f,
+    0x278a78167c4e0356,
+    0x8d9fddef07473cc9,
+    0x47404b81994524db,
+    0x9ff4ce2673bfdc78,
+    0xc93f77266c9e496c,
+    0x1bfe5137f95af010,
+    0xe7dde92674997b79,
+    0x96894c88408f9309,
+    0xf44460a0e3355bd4,
+    0x6153d709be60855f,
+    0x66628ed4795cdd10,
+    0xd29a820f0c52c429,
+    0x0c8df63be067964d,
+    0xaa405453f533f197,
+    0x0b80032dab331019,
+    0xbce4a2ee8bd991a9,
+    0x77f4277f1b0d793c,
+    0x404b3575f63fd799,
+];
+
+#[test]
+fn generated_catalog_digests_are_pinned() {
+    let cat = Catalog::generate(100, 2020);
+    assert_eq!(cat.len(), 100);
+    for (i, (s, want)) in cat.iter().zip(GOLDEN.iter()).enumerate() {
+        let got = digest64(&serialize_scenario(s));
+        assert_eq!(
+            got,
+            *want,
+            "generated scenario #{i} ({:?}) drifted from its pinned digest",
+            s.name()
+        );
+    }
+}
+
+/// Prints the current digest table (for regenerating `GOLDEN` after an
+/// intentional generator change). Always passes.
+#[test]
+fn print_digests() {
+    let cat = Catalog::generate(100, 2020);
+    for s in cat.iter() {
+        println!("    0x{:016x},", digest64(&serialize_scenario(s)));
+    }
+}

@@ -79,7 +79,7 @@ fn scenario_grid_records_round_trip_bit_for_bit() {
     let ratio = NmRatio::TwoGb;
     let selector = "stream-chase";
     let source = format!("scenario:{selector}");
-    let scens = scenario::select(selector).unwrap();
+    let scens = scenario::select(workloads::scenarios::builtin(), selector).unwrap();
 
     // The recorded run and an independent in-process reference run: the
     // matrices must agree (determinism), so either serves as the truth
@@ -130,7 +130,7 @@ fn scenario_grid_records_round_trip_bit_for_bit() {
 fn query_reports_are_identical_for_any_file_order() {
     let cfg = tiny_cfg();
     let ratio = NmRatio::OneGb;
-    let scens = scenario::select("quiet-burst").unwrap();
+    let scens = scenario::select(workloads::scenarios::builtin(), "quiet-burst").unwrap();
     let (m, secs) = scenario::run_grid_timed(&scens, ratio, &cfg);
 
     // Two writers into one run directory — the sharded-CI shape.
@@ -172,7 +172,7 @@ fn query_reports_are_identical_for_any_file_order() {
 fn zero_rate_records_are_counted_but_not_aggregated() {
     let cfg = tiny_cfg();
     let ratio = NmRatio::OneGb;
-    let scens = scenario::select("quiet-burst").unwrap();
+    let scens = scenario::select(workloads::scenarios::builtin(), "quiet-burst").unwrap();
     let (m, secs) = scenario::run_grid_timed(&scens, ratio, &cfg);
 
     let dir = run_dir("runlog-zero-rate");

@@ -16,7 +16,7 @@ fn digest(r: &RunResult) -> impl PartialEq + std::fmt::Debug {
     (
         (
             r.scheme,
-            r.workload,
+            r.workload.clone(),
             r.cycles,
             r.instructions,
             r.mem_ops,
@@ -63,9 +63,9 @@ fn work_stealing_matches_sequential_reference() {
         ..EvalConfig::smoke()
     };
     let specs = [
-        catalog::by_name("lbm").unwrap(),
-        catalog::by_name("omnetpp").unwrap(),
-        scenarios::workload_of("stream-chase").unwrap(),
+        catalog::by_name("lbm").unwrap().clone(),
+        catalog::by_name("omnetpp").unwrap().clone(),
+        scenarios::workload_of("stream-chase").unwrap().clone(),
     ];
     let kinds = [SchemeKind::Hybrid2, SchemeKind::Tagless];
     let stealing = Matrix::run(&kinds, &specs, NmRatio::OneGb, &cfg);
@@ -83,8 +83,8 @@ fn work_stealing_deterministic_across_thread_counts() {
         ..EvalConfig::smoke()
     };
     let specs = [
-        catalog::by_name("mcf").unwrap(),
-        scenarios::workload_of("quad-mix").unwrap(),
+        catalog::by_name("mcf").unwrap().clone(),
+        scenarios::workload_of("quad-mix").unwrap().clone(),
     ];
     let kinds = [SchemeKind::Hybrid2];
     let one = Matrix::run(&kinds, &specs, NmRatio::OneGb, &base);

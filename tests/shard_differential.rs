@@ -20,7 +20,7 @@ fn digest(r: &RunResult) -> impl PartialEq + std::fmt::Debug {
     (
         (
             r.scheme,
-            r.workload,
+            r.workload.clone(),
             r.cycles,
             r.instructions,
             r.mem_ops,
@@ -71,7 +71,7 @@ fn merge_of_shards_equals_monolithic_run_bit_for_bit() {
     let ratio = NmRatio::TwoGb;
 
     // Monolithic reference: the ordinary in-process grid run.
-    let scens = scenario::select(selector).unwrap();
+    let scens = scenario::select(workloads::scenarios::builtin(), selector).unwrap();
     let mono = scenario::run_grid(&scens, ratio, &cfg);
 
     // Sharded run: three processes' worth of slices through the public

@@ -15,9 +15,9 @@ use proptest::prelude::*;
 
 /// A grid shape drawn from the real catalog: the first `w` workloads and
 /// the first `k` MAIN schemes.
-fn grid(w: usize, k: usize) -> (Vec<SchemeKind>, Vec<&'static WorkloadSpec>) {
+fn grid(w: usize, k: usize) -> (Vec<SchemeKind>, Vec<WorkloadSpec>) {
     let kinds = SchemeKind::MAIN[..k].to_vec();
-    let specs: Vec<&'static WorkloadSpec> = catalog::all().iter().take(w).collect();
+    let specs: Vec<WorkloadSpec> = catalog::all().iter().take(w).cloned().collect();
     (kinds, specs)
 }
 

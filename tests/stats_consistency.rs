@@ -109,7 +109,7 @@ fn instruction_accounting() {
 /// transition-accounting bug would pass these tests unexercised. Mixes
 /// interleave from op 0, so a small window suffices.
 fn scenario_window(spec: &workloads::WorkloadSpec) -> u64 {
-    match spec.pattern {
+    match &spec.pattern {
         workloads::PatternSpec::Phased { phases } => {
             let ops = phases[0].ops + phases[1 % phases.len()].ops / 4 + 1;
             ops * u64::from(spec.mem_every)
