@@ -18,7 +18,7 @@
 //! (reads install, writes go to the block's FM home and invalidate the
 //! cached copy), so conflict evictions never generate FM write bursts.
 
-use dram::{DramSystem, MemoryScheme, SchemeStats, Served};
+use dram::{DramAccess, DramSystem, MemoryScheme, SchemeStats, Served, ServiceRequest, Ticket};
 use sim_types::{AccessKind, MemReq, MemSide, TrafficClass};
 
 use crate::flat::FlatRemap;
@@ -163,7 +163,19 @@ impl MemoryScheme for Chameleon {
             } else {
                 (AccessKind::Read, TrafficClass::Demand)
             };
-            let done = dram.access(side, addr, req.bytes, kind, class, ready);
+            let done = dram
+                .submit(ServiceRequest::new(
+                    side,
+                    Ticket::core(usize::from(req.core)),
+                    DramAccess {
+                        addr,
+                        bytes: req.bytes,
+                        kind,
+                        class,
+                        at: ready,
+                    },
+                ))
+                .ready;
             return Served::new(done, true);
         }
 
@@ -187,26 +199,36 @@ impl MemoryScheme for Chameleon {
             self.cache_hits += 1;
             self.stats.served_from_nm += 1;
             let addr = self.cache_base + idx as u64 * self.cfg.block_bytes + offset;
-            let done = dram.access(
-                MemSide::Nm,
-                addr,
-                req.bytes,
-                AccessKind::Read,
-                TrafficClass::Demand,
-                ready,
-            );
+            let done = dram
+                .submit(ServiceRequest::new(
+                    MemSide::Nm,
+                    Ticket::core(usize::from(req.core)),
+                    DramAccess {
+                        addr,
+                        bytes: req.bytes,
+                        kind: AccessKind::Read,
+                        class: TrafficClass::Demand,
+                        at: ready,
+                    },
+                ))
+                .ready;
             Served::new(done, true)
         } else if write {
             // Write-through to the FM home; drop a stale cached line.
             let (side, addr) = self.flat.device_addr(loc, offset);
-            let done = dram.access(
-                side,
-                addr,
-                req.bytes,
-                AccessKind::Write,
-                TrafficClass::Writeback,
-                ready,
-            );
+            let done = dram
+                .submit(ServiceRequest::new(
+                    side,
+                    Ticket::core(usize::from(req.core)),
+                    DramAccess {
+                        addr,
+                        bytes: req.bytes,
+                        kind: AccessKind::Write,
+                        class: TrafficClass::Writeback,
+                        at: ready,
+                    },
+                ))
+                .ready;
             if entry.in_use && entry.block == block {
                 self.cache_entries[idx].valid_mask &= !(1 << line);
             }
@@ -214,14 +236,19 @@ impl MemoryScheme for Chameleon {
         } else {
             // Read miss: serve from FM and install the clean line.
             let (side, addr) = self.flat.device_addr(loc, offset);
-            let done = dram.access(
-                side,
-                addr,
-                req.bytes,
-                AccessKind::Read,
-                TrafficClass::Demand,
-                ready,
-            );
+            let done = dram
+                .submit(ServiceRequest::new(
+                    side,
+                    Ticket::core(usize::from(req.core)),
+                    DramAccess {
+                        addr,
+                        bytes: req.bytes,
+                        kind: AccessKind::Read,
+                        class: TrafficClass::Demand,
+                        at: ready,
+                    },
+                ))
+                .ready;
             if self.cache_entries[idx].in_use && self.cache_entries[idx].block != block {
                 self.cache_entries[idx] = CacheEntry::default();
             }
@@ -229,14 +256,17 @@ impl MemoryScheme for Chameleon {
             e.block = block;
             e.in_use = true;
             e.valid_mask |= 1 << line;
-            dram.access(
+            dram.submit(ServiceRequest::new(
                 MemSide::Nm,
-                self.cache_base + idx as u64 * self.cfg.block_bytes + offset,
-                req.bytes,
-                AccessKind::Write,
-                TrafficClass::Fill,
-                done,
-            );
+                Ticket::CONTROLLER,
+                DramAccess {
+                    addr: self.cache_base + idx as u64 * self.cfg.block_bytes + offset,
+                    bytes: req.bytes,
+                    kind: AccessKind::Write,
+                    class: TrafficClass::Fill,
+                    at: done,
+                },
+            ));
             Served::new(done, false)
         };
 

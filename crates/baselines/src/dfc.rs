@@ -8,7 +8,7 @@
 //! installs the entry (the paper found DFC's best configuration at 1 KB
 //! cache lines, which is what [`DfcConfig::paper_best`] uses).
 
-use dram::{DramSystem, MemoryScheme, SchemeStats, Served};
+use dram::{DramAccess, DramSystem, MemoryScheme, SchemeStats, Served, ServiceRequest, Ticket};
 use mem_cache::{CacheConfig, SetAssocCache};
 use sim_types::{AccessKind, MemReq, MemSide, TrafficClass};
 
@@ -140,14 +140,18 @@ impl MemoryScheme for Dfc {
         } else {
             self.tag_probes += 1;
             self.stats.metadata_reads += 1;
-            dram.access(
+            dram.submit(ServiceRequest::new(
                 MemSide::Nm,
-                self.tag_addr(set),
-                64,
-                AccessKind::Read,
-                TrafficClass::Metadata,
-                req.at,
-            )
+                Ticket::CONTROLLER,
+                DramAccess {
+                    addr: self.tag_addr(set),
+                    bytes: 64,
+                    kind: AccessKind::Read,
+                    class: TrafficClass::Metadata,
+                    at: req.at,
+                },
+            ))
+            .ready
         };
 
         let range = (set * self.assoc as u64) as usize..((set + 1) * self.assoc as u64) as usize;
@@ -164,14 +168,19 @@ impl MemoryScheme for Dfc {
                 } else {
                     (AccessKind::Read, TrafficClass::Demand)
                 };
-                let done = dram.access(
-                    MemSide::Nm,
-                    self.nm_addr(set, w, in_line),
-                    req.bytes,
-                    kind,
-                    class,
-                    lookup_done,
-                );
+                let done = dram
+                    .submit(ServiceRequest::new(
+                        MemSide::Nm,
+                        Ticket::core(usize::from(req.core)),
+                        DramAccess {
+                            addr: self.nm_addr(set, w, in_line),
+                            bytes: req.bytes,
+                            kind,
+                            class,
+                            at: lookup_done,
+                        },
+                    ))
+                    .ready;
                 return Served::new(done, true);
             }
         }
@@ -183,14 +192,19 @@ impl MemoryScheme for Dfc {
         } else {
             TrafficClass::Demand
         };
-        let critical = dram.access(
-            MemSide::Fm,
-            req.addr.raw() % self.cfg.fm_bytes,
-            req.bytes,
-            req.kind,
-            class,
-            lookup_done,
-        );
+        let critical = dram
+            .submit(ServiceRequest::new(
+                MemSide::Fm,
+                Ticket::core(usize::from(req.core)),
+                DramAccess {
+                    addr: req.addr.raw() % self.cfg.fm_bytes,
+                    bytes: req.bytes,
+                    kind: req.kind,
+                    class,
+                    at: lookup_done,
+                },
+            ))
+            .ready;
 
         let mut victim = range.start;
         let mut lru = u64::MAX;
@@ -212,56 +226,79 @@ impl MemoryScheme for Dfc {
             let old_base = ((old.tag << self.sets.trailing_zeros()) | set) * self.cfg.line_bytes;
             self.fused.invalidate(old_base / self.cfg.line_bytes * 64);
             if old.dirty {
-                dram.burst(
-                    MemSide::Nm,
-                    self.nm_addr(set, way, 0),
-                    64,
-                    chunks,
-                    AccessKind::Read,
-                    TrafficClass::Writeback,
-                    req.at,
+                dram.submit(
+                    ServiceRequest::new(
+                        MemSide::Nm,
+                        Ticket::CONTROLLER,
+                        DramAccess {
+                            addr: self.nm_addr(set, way, 0),
+                            bytes: 64,
+                            kind: AccessKind::Read,
+                            class: TrafficClass::Writeback,
+                            at: req.at,
+                        },
+                    )
+                    .with_count(chunks),
                 );
-                dram.burst(
-                    MemSide::Fm,
-                    old_base % self.cfg.fm_bytes,
-                    64,
-                    chunks,
-                    AccessKind::Write,
-                    TrafficClass::Writeback,
-                    req.at,
+                dram.submit(
+                    ServiceRequest::new(
+                        MemSide::Fm,
+                        Ticket::CONTROLLER,
+                        DramAccess {
+                            addr: old_base % self.cfg.fm_bytes,
+                            bytes: 64,
+                            kind: AccessKind::Write,
+                            class: TrafficClass::Writeback,
+                            at: req.at,
+                        },
+                    )
+                    .with_count(chunks),
                 );
                 self.stats.dirty_writebacks += 1;
             }
         }
 
-        dram.burst(
-            MemSide::Fm,
-            line_base % self.cfg.fm_bytes,
-            64,
-            chunks,
-            AccessKind::Read,
-            TrafficClass::Fill,
-            critical,
+        dram.submit(
+            ServiceRequest::new(
+                MemSide::Fm,
+                Ticket::CONTROLLER,
+                DramAccess {
+                    addr: line_base % self.cfg.fm_bytes,
+                    bytes: 64,
+                    kind: AccessKind::Read,
+                    class: TrafficClass::Fill,
+                    at: critical,
+                },
+            )
+            .with_count(chunks),
         );
-        dram.burst(
-            MemSide::Nm,
-            self.nm_addr(set, way, 0),
-            64,
-            chunks,
-            AccessKind::Write,
-            TrafficClass::Fill,
-            critical,
+        dram.submit(
+            ServiceRequest::new(
+                MemSide::Nm,
+                Ticket::CONTROLLER,
+                DramAccess {
+                    addr: self.nm_addr(set, way, 0),
+                    bytes: 64,
+                    kind: AccessKind::Write,
+                    class: TrafficClass::Fill,
+                    at: critical,
+                },
+            )
+            .with_count(chunks),
         );
         // The in-DRAM tag row is updated with the new mapping.
         self.stats.metadata_writes += 1;
-        dram.access(
+        dram.submit(ServiceRequest::new(
             MemSide::Nm,
-            self.tag_addr(set),
-            64,
-            AccessKind::Write,
-            TrafficClass::Metadata,
-            req.at,
-        );
+            Ticket::CONTROLLER,
+            DramAccess {
+                addr: self.tag_addr(set),
+                bytes: 64,
+                kind: AccessKind::Write,
+                class: TrafficClass::Metadata,
+                at: req.at,
+            },
+        ));
         self.stats.moved_into_nm += 1;
         self.lines[victim] = Line {
             tag,

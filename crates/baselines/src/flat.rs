@@ -12,7 +12,7 @@
 //! Hybrid2's own remapping is different enough (free-FM stack, cache pool)
 //! that it lives in `hybrid2-core`; this module serves only the baselines.
 
-use dram::DramSystem;
+use dram::{DramAccess, DramSystem, ServiceRequest, Ticket};
 use mem_cache::{CacheConfig, SetAssocCache};
 use sim_types::{AccessKind, Cycle, MemSide, PAddr, TrafficClass};
 
@@ -143,14 +143,18 @@ impl FlatRemap {
             at + self.cache_latency
         } else {
             self.table_reads += 1;
-            dram.access(
+            dram.submit(ServiceRequest::new(
                 MemSide::Nm,
-                self.meta_base + (entry_addr & !63),
-                64,
-                AccessKind::Read,
-                TrafficClass::Metadata,
-                at + self.cache_latency,
-            )
+                Ticket::CONTROLLER,
+                DramAccess {
+                    addr: self.meta_base + (entry_addr & !63),
+                    bytes: 64,
+                    kind: AccessKind::Read,
+                    class: TrafficClass::Metadata,
+                    at: at + self.cache_latency,
+                },
+            ))
+            .ready
         };
         (self.remap[block as usize], ready)
     }
@@ -194,43 +198,59 @@ impl FlatRemap {
                 continue;
             }
             let off = u64::from(i) * 64;
-            dram.access(
+            dram.submit(ServiceRequest::new(
                 MemSide::Fm,
-                fm_slot * self.block_bytes + off,
-                64,
-                AccessKind::Read,
-                TrafficClass::Migration,
-                at,
-            );
-            dram.access(
+                Ticket::CONTROLLER,
+                DramAccess {
+                    addr: fm_slot * self.block_bytes + off,
+                    bytes: 64,
+                    kind: AccessKind::Read,
+                    class: TrafficClass::Migration,
+                    at,
+                },
+            ));
+            dram.submit(ServiceRequest::new(
                 MemSide::Nm,
-                victim_slot * self.block_bytes + off,
-                64,
-                AccessKind::Write,
-                TrafficClass::Migration,
-                at,
-            );
+                Ticket::CONTROLLER,
+                DramAccess {
+                    addr: victim_slot * self.block_bytes + off,
+                    bytes: 64,
+                    kind: AccessKind::Write,
+                    class: TrafficClass::Migration,
+                    at,
+                },
+            ));
         }
         let _ = moved_in;
         // Outbound: NM victim -> the vacated FM slot (full block; swaps move
         // whole blocks out, the paper's "double the overheads of copying").
-        dram.burst(
-            MemSide::Nm,
-            victim_slot * self.block_bytes,
-            64,
-            lines,
-            AccessKind::Read,
-            TrafficClass::Migration,
-            at,
+        dram.submit(
+            ServiceRequest::new(
+                MemSide::Nm,
+                Ticket::CONTROLLER,
+                DramAccess {
+                    addr: victim_slot * self.block_bytes,
+                    bytes: 64,
+                    kind: AccessKind::Read,
+                    class: TrafficClass::Migration,
+                    at,
+                },
+            )
+            .with_count(lines),
         );
-        dram.burst(
-            MemSide::Fm,
-            fm_slot * self.block_bytes,
-            64,
-            lines,
-            AccessKind::Write,
-            TrafficClass::Migration,
-            at,
+        dram.submit(
+            ServiceRequest::new(
+                MemSide::Fm,
+                Ticket::CONTROLLER,
+                DramAccess {
+                    addr: fm_slot * self.block_bytes,
+                    bytes: 64,
+                    kind: AccessKind::Write,
+                    class: TrafficClass::Migration,
+                    at,
+                },
+            )
+            .with_count(lines),
         );
 
         self.remap[fm_block as usize] = BlockLoc::Nm(victim_slot);
@@ -239,22 +259,28 @@ impl FlatRemap {
         self.swaps += 1;
 
         // Remap-table updates for both blocks.
-        dram.access(
+        dram.submit(ServiceRequest::new(
             MemSide::Nm,
-            self.meta_base + ((fm_block * 8) & !63),
-            64,
-            AccessKind::Write,
-            TrafficClass::Metadata,
-            at,
-        );
-        dram.access(
+            Ticket::CONTROLLER,
+            DramAccess {
+                addr: self.meta_base + ((fm_block * 8) & !63),
+                bytes: 64,
+                kind: AccessKind::Write,
+                class: TrafficClass::Metadata,
+                at,
+            },
+        ));
+        dram.submit(ServiceRequest::new(
             MemSide::Nm,
-            self.meta_base + ((victim_block * 8) & !63),
-            64,
-            AccessKind::Write,
-            TrafficClass::Metadata,
-            at,
-        );
+            Ticket::CONTROLLER,
+            DramAccess {
+                addr: self.meta_base + ((victim_block * 8) & !63),
+                bytes: 64,
+                kind: AccessKind::Write,
+                class: TrafficClass::Metadata,
+                at,
+            },
+        ));
     }
 
     /// Remap bijection check for tests.

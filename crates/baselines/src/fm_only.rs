@@ -4,7 +4,7 @@
 //! ("All our results are normalized to a Baseline system without 3D-stacked
 //! DRAM"). All requests go straight to the DDR4 far memory.
 
-use dram::{DramSystem, MemoryScheme, SchemeStats, Served};
+use dram::{DramAccess, DramSystem, MemoryScheme, SchemeStats, Served, ServiceRequest, Ticket};
 use sim_types::{MemReq, MemSide, TrafficClass};
 
 /// The no-NM baseline.
@@ -38,14 +38,19 @@ impl MemoryScheme for FmOnly {
             self.stats.reads += 1;
             TrafficClass::Demand
         };
-        let done = dram.access(
-            MemSide::Fm,
-            req.addr.raw() % self.fm_bytes.max(1),
-            req.bytes,
-            req.kind,
-            class,
-            req.at,
-        );
+        let done = dram
+            .submit(ServiceRequest::new(
+                MemSide::Fm,
+                Ticket::core(usize::from(req.core)),
+                DramAccess {
+                    addr: req.addr.raw() % self.fm_bytes.max(1),
+                    bytes: req.bytes,
+                    kind: req.kind,
+                    class,
+                    at: req.at,
+                },
+            ))
+            .ready;
         Served::new(done, false)
     }
 

@@ -7,7 +7,7 @@
 //! touched, which is exactly the measurement behind Figure 1 ("percentage
 //! of data brought in DRAM cache, but remained unused").
 
-use dram::{DramSystem, MemoryScheme, SchemeStats, Served};
+use dram::{DramAccess, DramSystem, MemoryScheme, SchemeStats, Served, ServiceRequest, Ticket};
 use sim_types::{AccessKind, MemReq, MemSide, TrafficClass};
 
 /// Configuration of the ideal cache.
@@ -167,14 +167,19 @@ impl MemoryScheme for IdealCache {
                 } else {
                     (AccessKind::Read, TrafficClass::Demand)
                 };
-                let done = dram.access(
-                    MemSide::Nm,
-                    self.nm_addr(set, w, in_line),
-                    req.bytes,
-                    kind,
-                    class,
-                    req.at,
-                );
+                let done = dram
+                    .submit(ServiceRequest::new(
+                        MemSide::Nm,
+                        Ticket::core(usize::from(req.core)),
+                        DramAccess {
+                            addr: self.nm_addr(set, w, in_line),
+                            bytes: req.bytes,
+                            kind,
+                            class,
+                            at: req.at,
+                        },
+                    ))
+                    .ready;
                 return Served::new(done, true);
             }
         }
@@ -186,14 +191,19 @@ impl MemoryScheme for IdealCache {
         } else {
             TrafficClass::Demand
         };
-        let critical = dram.access(
-            MemSide::Fm,
-            req.addr.raw() % self.cfg.fm_bytes,
-            req.bytes,
-            req.kind,
-            class,
-            req.at,
-        );
+        let critical = dram
+            .submit(ServiceRequest::new(
+                MemSide::Fm,
+                Ticket::core(usize::from(req.core)),
+                DramAccess {
+                    addr: req.addr.raw() % self.cfg.fm_bytes,
+                    bytes: req.bytes,
+                    kind: req.kind,
+                    class,
+                    at: req.at,
+                },
+            ))
+            .ready;
 
         // Victim selection: invalid way first, else LRU.
         let mut victim = range.start;
@@ -218,46 +228,66 @@ impl MemoryScheme for IdealCache {
                 // Write the whole line back to FM.
                 let old_base =
                     ((old.tag << self.sets.trailing_zeros()) | set) * self.cfg.line_bytes;
-                dram.burst(
-                    MemSide::Nm,
-                    self.nm_addr(set, way, 0),
-                    64,
-                    self.chunks_per_line,
-                    AccessKind::Read,
-                    TrafficClass::Writeback,
-                    req.at,
+                dram.submit(
+                    ServiceRequest::new(
+                        MemSide::Nm,
+                        Ticket::CONTROLLER,
+                        DramAccess {
+                            addr: self.nm_addr(set, way, 0),
+                            bytes: 64,
+                            kind: AccessKind::Read,
+                            class: TrafficClass::Writeback,
+                            at: req.at,
+                        },
+                    )
+                    .with_count(self.chunks_per_line),
                 );
-                dram.burst(
-                    MemSide::Fm,
-                    old_base % self.cfg.fm_bytes,
-                    64,
-                    self.chunks_per_line,
-                    AccessKind::Write,
-                    TrafficClass::Writeback,
-                    req.at,
+                dram.submit(
+                    ServiceRequest::new(
+                        MemSide::Fm,
+                        Ticket::CONTROLLER,
+                        DramAccess {
+                            addr: old_base % self.cfg.fm_bytes,
+                            bytes: 64,
+                            kind: AccessKind::Write,
+                            class: TrafficClass::Writeback,
+                            at: req.at,
+                        },
+                    )
+                    .with_count(self.chunks_per_line),
                 );
                 self.stats.dirty_writebacks += 1;
             }
         }
 
         // Fetch the full new line FM -> NM (the line-size over-fetch).
-        dram.burst(
-            MemSide::Fm,
-            line_base % self.cfg.fm_bytes,
-            64,
-            self.chunks_per_line,
-            AccessKind::Read,
-            TrafficClass::Fill,
-            critical,
+        dram.submit(
+            ServiceRequest::new(
+                MemSide::Fm,
+                Ticket::CONTROLLER,
+                DramAccess {
+                    addr: line_base % self.cfg.fm_bytes,
+                    bytes: 64,
+                    kind: AccessKind::Read,
+                    class: TrafficClass::Fill,
+                    at: critical,
+                },
+            )
+            .with_count(self.chunks_per_line),
         );
-        dram.burst(
-            MemSide::Nm,
-            self.nm_addr(set, way, 0),
-            64,
-            self.chunks_per_line,
-            AccessKind::Write,
-            TrafficClass::Fill,
-            critical,
+        dram.submit(
+            ServiceRequest::new(
+                MemSide::Nm,
+                Ticket::CONTROLLER,
+                DramAccess {
+                    addr: self.nm_addr(set, way, 0),
+                    bytes: 64,
+                    kind: AccessKind::Write,
+                    class: TrafficClass::Fill,
+                    at: critical,
+                },
+            )
+            .with_count(self.chunks_per_line),
         );
         self.waste.fetched_bytes += self.cfg.line_bytes;
         self.stats.fetched_bytes += self.cfg.line_bytes;

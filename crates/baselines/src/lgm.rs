@@ -14,7 +14,7 @@
 
 use std::collections::HashMap;
 
-use dram::{DramSystem, MemoryScheme, SchemeStats, Served};
+use dram::{DramAccess, DramSystem, MemoryScheme, SchemeStats, Served, ServiceRequest, Ticket};
 use sim_types::{AccessKind, Cycle, MemReq, TrafficClass};
 
 use crate::flat::FlatRemap;
@@ -123,7 +123,19 @@ impl MemoryScheme for Lgm {
         } else {
             (AccessKind::Read, TrafficClass::Demand)
         };
-        let done = dram.access(side, addr, req.bytes, kind, class, ready);
+        let done = dram
+            .submit(ServiceRequest::new(
+                side,
+                Ticket::core(usize::from(req.core)),
+                DramAccess {
+                    addr,
+                    bytes: req.bytes,
+                    kind,
+                    class,
+                    at: ready,
+                },
+            ))
+            .ready;
         Served::new(done, loc.is_nm())
     }
 

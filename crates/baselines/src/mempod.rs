@@ -6,7 +6,7 @@
 //! swapped into the pod's NM slice, with victims chosen round-robin (FIFO).
 //! The paper's design-space exploration settled on 64 MEA counters per pod.
 
-use dram::{DramSystem, MemoryScheme, SchemeStats, Served};
+use dram::{DramAccess, DramSystem, MemoryScheme, SchemeStats, Served, ServiceRequest, Ticket};
 use sim_types::{AccessKind, Cycle, MemReq, TrafficClass};
 
 use crate::flat::FlatRemap;
@@ -132,7 +132,19 @@ impl MemoryScheme for MemPod {
         } else {
             (AccessKind::Read, TrafficClass::Demand)
         };
-        let done = dram.access(side, addr, req.bytes, kind, class, ready);
+        let done = dram
+            .submit(ServiceRequest::new(
+                side,
+                Ticket::core(usize::from(req.core)),
+                DramAccess {
+                    addr,
+                    bytes: req.bytes,
+                    kind,
+                    class,
+                    at: ready,
+                },
+            ))
+            .ready;
         Served::new(done, loc.is_nm())
     }
 

@@ -10,7 +10,7 @@
 
 use std::collections::HashMap;
 
-use dram::{DramSystem, MemoryScheme, SchemeStats, Served};
+use dram::{DramAccess, DramSystem, MemoryScheme, SchemeStats, Served, ServiceRequest, Ticket};
 use sim_types::{AccessKind, MemReq, MemSide, TrafficClass};
 
 /// Configuration of the Tagless cache.
@@ -119,14 +119,19 @@ impl MemoryScheme for Tagless {
             } else {
                 (AccessKind::Read, TrafficClass::Demand)
             };
-            let done = dram.access(
-                MemSide::Nm,
-                u64::from(frame) * self.cfg.page_bytes + in_page,
-                req.bytes,
-                kind,
-                class,
-                req.at,
-            );
+            let done = dram
+                .submit(ServiceRequest::new(
+                    MemSide::Nm,
+                    Ticket::core(usize::from(req.core)),
+                    DramAccess {
+                        addr: u64::from(frame) * self.cfg.page_bytes + in_page,
+                        bytes: req.bytes,
+                        kind,
+                        class,
+                        at: req.at,
+                    },
+                ))
+                .ready;
             return Served::new(done, true);
         }
 
@@ -137,14 +142,19 @@ impl MemoryScheme for Tagless {
         } else {
             TrafficClass::Demand
         };
-        let critical = dram.access(
-            MemSide::Fm,
-            req.addr.raw() % self.cfg.fm_bytes,
-            req.bytes,
-            req.kind,
-            class,
-            req.at,
-        );
+        let critical = dram
+            .submit(ServiceRequest::new(
+                MemSide::Fm,
+                Ticket::core(usize::from(req.core)),
+                DramAccess {
+                    addr: req.addr.raw() % self.cfg.fm_bytes,
+                    bytes: req.bytes,
+                    kind: req.kind,
+                    class,
+                    at: req.at,
+                },
+            ))
+            .ready;
 
         let frame = self.pick_frame();
         let lines = (self.cfg.page_bytes / 64) as u32;
@@ -152,46 +162,66 @@ impl MemoryScheme for Tagless {
         if old.valid {
             self.map.remove(&old.page);
             if old.dirty {
-                dram.burst(
-                    MemSide::Nm,
-                    frame as u64 * self.cfg.page_bytes,
-                    64,
-                    lines,
-                    AccessKind::Read,
-                    TrafficClass::Writeback,
-                    req.at,
+                dram.submit(
+                    ServiceRequest::new(
+                        MemSide::Nm,
+                        Ticket::CONTROLLER,
+                        DramAccess {
+                            addr: frame as u64 * self.cfg.page_bytes,
+                            bytes: 64,
+                            kind: AccessKind::Read,
+                            class: TrafficClass::Writeback,
+                            at: req.at,
+                        },
+                    )
+                    .with_count(lines),
                 );
-                dram.burst(
-                    MemSide::Fm,
-                    (old.page * self.cfg.page_bytes) % self.cfg.fm_bytes,
-                    64,
-                    lines,
-                    AccessKind::Write,
-                    TrafficClass::Writeback,
-                    req.at,
+                dram.submit(
+                    ServiceRequest::new(
+                        MemSide::Fm,
+                        Ticket::CONTROLLER,
+                        DramAccess {
+                            addr: (old.page * self.cfg.page_bytes) % self.cfg.fm_bytes,
+                            bytes: 64,
+                            kind: AccessKind::Write,
+                            class: TrafficClass::Writeback,
+                            at: req.at,
+                        },
+                    )
+                    .with_count(lines),
                 );
                 self.stats.dirty_writebacks += 1;
             }
         }
 
         // Full-page fetch — the over-fetch that hurts sparse access patterns.
-        dram.burst(
-            MemSide::Fm,
-            (page * self.cfg.page_bytes) % self.cfg.fm_bytes,
-            64,
-            lines,
-            AccessKind::Read,
-            TrafficClass::Fill,
-            critical,
+        dram.submit(
+            ServiceRequest::new(
+                MemSide::Fm,
+                Ticket::CONTROLLER,
+                DramAccess {
+                    addr: (page * self.cfg.page_bytes) % self.cfg.fm_bytes,
+                    bytes: 64,
+                    kind: AccessKind::Read,
+                    class: TrafficClass::Fill,
+                    at: critical,
+                },
+            )
+            .with_count(lines),
         );
-        dram.burst(
-            MemSide::Nm,
-            frame as u64 * self.cfg.page_bytes,
-            64,
-            lines,
-            AccessKind::Write,
-            TrafficClass::Fill,
-            critical,
+        dram.submit(
+            ServiceRequest::new(
+                MemSide::Nm,
+                Ticket::CONTROLLER,
+                DramAccess {
+                    addr: frame as u64 * self.cfg.page_bytes,
+                    bytes: 64,
+                    kind: AccessKind::Write,
+                    class: TrafficClass::Fill,
+                    at: critical,
+                },
+            )
+            .with_count(lines),
         );
         self.stats.moved_into_nm += 1;
         self.frames[frame] = Frame {

@@ -1,6 +1,6 @@
 //! The DRAM Cache Migration Controller: §3.4–§3.7 wired together.
 
-use dram::{DramSystem, MemoryScheme, SchemeStats, Served};
+use dram::{DramAccess, DramSystem, MemoryScheme, SchemeStats, Served, ServiceRequest, Ticket};
 use sim_types::{AccessKind, Cycle, MemReq, MemSide, NmLoc, TrafficClass};
 
 use crate::config::{ConfigError, Hybrid2Config, Layout, Variant};
@@ -142,14 +142,18 @@ impl Dcmc {
             return at;
         }
         self.stats.metadata_reads += 1;
-        dram.access(
+        dram.submit(ServiceRequest::new(
             MemSide::Nm,
-            addr & !63,
-            64,
-            AccessKind::Read,
-            TrafficClass::Metadata,
-            at,
-        )
+            Ticket::CONTROLLER,
+            DramAccess {
+                addr: addr & !63,
+                bytes: 64,
+                kind: AccessKind::Read,
+                class: TrafficClass::Metadata,
+                at,
+            },
+        ))
+        .ready
     }
 
     fn meta_write(&mut self, addr: u64, at: Cycle, dram: &mut DramSystem) {
@@ -157,14 +161,17 @@ impl Dcmc {
             return;
         }
         self.stats.metadata_writes += 1;
-        dram.access(
+        dram.submit(ServiceRequest::new(
             MemSide::Nm,
-            addr & !63,
-            64,
-            AccessKind::Write,
-            TrafficClass::Metadata,
-            at,
-        );
+            Ticket::CONTROLLER,
+            DramAccess {
+                addr: addr & !63,
+                bytes: 64,
+                kind: AccessKind::Write,
+                class: TrafficClass::Metadata,
+                at,
+            },
+        ));
     }
 
     /// Figure 9 + Figure 10: dispose of an XTA victim. Must be called after
@@ -211,22 +218,28 @@ impl Dcmc {
                 for i in 0..lines {
                     if victim.dirty & (1 << i) != 0 {
                         let off = u64::from(i) * g.line_size();
-                        dram.access(
+                        dram.submit(ServiceRequest::new(
                             MemSide::Nm,
-                            nm_base + off,
-                            line_bytes,
-                            AccessKind::Read,
-                            TrafficClass::Writeback,
-                            at,
-                        );
-                        dram.access(
+                            Ticket::CONTROLLER,
+                            DramAccess {
+                                addr: nm_base + off,
+                                bytes: line_bytes,
+                                kind: AccessKind::Read,
+                                class: TrafficClass::Writeback,
+                                at,
+                            },
+                        ));
+                        dram.submit(ServiceRequest::new(
                             MemSide::Fm,
-                            fm_base + off,
-                            line_bytes,
-                            AccessKind::Write,
-                            TrafficClass::Writeback,
-                            at,
-                        );
+                            Ticket::CONTROLLER,
+                            DramAccess {
+                                addr: fm_base + off,
+                                bytes: line_bytes,
+                                kind: AccessKind::Write,
+                                class: TrafficClass::Writeback,
+                                at,
+                            },
+                        ));
                         self.stats.dirty_writebacks += 1;
                     }
                 }
@@ -246,22 +259,28 @@ impl Dcmc {
                 for i in 0..lines {
                     if victim.valid & (1 << i) == 0 {
                         let off = u64::from(i) * g.line_size();
-                        dram.access(
+                        dram.submit(ServiceRequest::new(
                             MemSide::Fm,
-                            fm_base + off,
-                            line_bytes,
-                            AccessKind::Read,
-                            TrafficClass::Migration,
-                            at,
-                        );
-                        dram.access(
+                            Ticket::CONTROLLER,
+                            DramAccess {
+                                addr: fm_base + off,
+                                bytes: line_bytes,
+                                kind: AccessKind::Read,
+                                class: TrafficClass::Migration,
+                                at,
+                            },
+                        ));
+                        dram.submit(ServiceRequest::new(
                             MemSide::Nm,
-                            nm_base + off,
-                            line_bytes,
-                            AccessKind::Write,
-                            TrafficClass::Migration,
-                            at,
-                        );
+                            Ticket::CONTROLLER,
+                            DramAccess {
+                                addr: nm_base + off,
+                                bytes: line_bytes,
+                                kind: AccessKind::Write,
+                                class: TrafficClass::Migration,
+                                at,
+                            },
+                        ));
                     }
                 }
                 // The vacated FM location becomes reusable.
@@ -332,23 +351,33 @@ impl Dcmc {
             if self.unused_live > 0 && self.unused[sec.index()] {
                 self.swaps_avoided += 1;
             } else {
-                dram.burst(
-                    MemSide::Nm,
-                    self.layout.nm_slot_addr(cand),
-                    line_bytes,
-                    lines,
-                    AccessKind::Read,
-                    TrafficClass::Migration,
-                    at,
+                dram.submit(
+                    ServiceRequest::new(
+                        MemSide::Nm,
+                        Ticket::CONTROLLER,
+                        DramAccess {
+                            addr: self.layout.nm_slot_addr(cand),
+                            bytes: line_bytes,
+                            kind: AccessKind::Read,
+                            class: TrafficClass::Migration,
+                            at,
+                        },
+                    )
+                    .with_count(lines),
                 );
-                dram.burst(
-                    MemSide::Fm,
-                    self.layout.fm_loc_addr(f),
-                    line_bytes,
-                    lines,
-                    AccessKind::Write,
-                    TrafficClass::Migration,
-                    at,
+                dram.submit(
+                    ServiceRequest::new(
+                        MemSide::Fm,
+                        Ticket::CONTROLLER,
+                        DramAccess {
+                            addr: self.layout.fm_loc_addr(f),
+                            bytes: line_bytes,
+                            kind: AccessKind::Write,
+                            class: TrafficClass::Migration,
+                            at,
+                        },
+                    )
+                    .with_count(lines),
                 );
             }
             self.tables.set_location(sec, Loc::Fm(f));
@@ -438,6 +467,7 @@ impl MemoryScheme for Dcmc {
         let bit = 1u64 << line;
         let in_sector_off = req.addr.raw() & (g.sector_size() - 1);
         let write = req.kind.is_write();
+        let ticket = Ticket::core(usize::from(req.core));
 
         self.stats.requests += 1;
         if write {
@@ -475,7 +505,19 @@ impl MemoryScheme for Dcmc {
                 } else {
                     (AccessKind::Read, TrafficClass::Demand)
                 };
-                let done = dram.access(MemSide::Nm, addr, req.bytes, kind, class, t0);
+                let done = dram
+                    .submit(ServiceRequest::new(
+                        MemSide::Nm,
+                        ticket,
+                        DramAccess {
+                            addr,
+                            bytes: req.bytes,
+                            kind,
+                            class,
+                            at: t0,
+                        },
+                    ))
+                    .ready;
                 self.stats.served_from_nm += 1;
                 Served::new(done, true)
             } else {
@@ -496,22 +538,30 @@ impl MemoryScheme for Dcmc {
                 } else {
                     TrafficClass::Demand
                 };
-                let fetched = dram.access(
-                    MemSide::Fm,
-                    fm_addr,
-                    g.line_size() as u32,
-                    AccessKind::Read,
-                    class,
-                    t0,
-                );
-                dram.access(
+                let fetched = dram
+                    .submit(ServiceRequest::new(
+                        MemSide::Fm,
+                        ticket,
+                        DramAccess {
+                            addr: fm_addr,
+                            bytes: g.line_size() as u32,
+                            kind: AccessKind::Read,
+                            class,
+                            at: t0,
+                        },
+                    ))
+                    .ready;
+                dram.submit(ServiceRequest::new(
                     MemSide::Nm,
-                    nm_addr,
-                    g.line_size() as u32,
-                    AccessKind::Write,
-                    TrafficClass::Fill,
-                    fetched,
-                );
+                    ticket,
+                    DramAccess {
+                        addr: nm_addr,
+                        bytes: g.line_size() as u32,
+                        kind: AccessKind::Write,
+                        class: TrafficClass::Fill,
+                        at: fetched,
+                    },
+                ));
                 self.fm_budget += 1;
                 Served::new(if write { t0 } else { fetched }, false)
             }
@@ -542,7 +592,19 @@ impl MemoryScheme for Dcmc {
                     } else {
                         (AccessKind::Read, TrafficClass::Demand)
                     };
-                    let done = dram.access(MemSide::Nm, addr, req.bytes, kind, class, t1);
+                    let done = dram
+                        .submit(ServiceRequest::new(
+                            MemSide::Nm,
+                            ticket,
+                            DramAccess {
+                                addr,
+                                bytes: req.bytes,
+                                kind,
+                                class,
+                                at: t1,
+                            },
+                        ))
+                        .ready;
                     self.stats.served_from_nm += 1;
                     Served::new(done, true)
                 }
@@ -563,22 +625,30 @@ impl MemoryScheme for Dcmc {
                     } else {
                         TrafficClass::Demand
                     };
-                    let fetched = dram.access(
-                        MemSide::Fm,
-                        fm_addr,
-                        g.line_size() as u32,
-                        AccessKind::Read,
-                        class,
-                        t1,
-                    );
-                    dram.access(
+                    let fetched = dram
+                        .submit(ServiceRequest::new(
+                            MemSide::Fm,
+                            ticket,
+                            DramAccess {
+                                addr: fm_addr,
+                                bytes: g.line_size() as u32,
+                                kind: AccessKind::Read,
+                                class,
+                                at: t1,
+                            },
+                        ))
+                        .ready;
+                    dram.submit(ServiceRequest::new(
                         MemSide::Nm,
-                        nm_addr,
-                        g.line_size() as u32,
-                        AccessKind::Write,
-                        TrafficClass::Fill,
-                        fetched,
-                    );
+                        ticket,
+                        DramAccess {
+                            addr: nm_addr,
+                            bytes: g.line_size() as u32,
+                            kind: AccessKind::Write,
+                            class: TrafficClass::Fill,
+                            at: fetched,
+                        },
+                    ));
                     self.fm_budget += 1;
                     let entry = Xta::entry_for_fm_fetch(sector, slot, fm, line, write);
                     self.xta.insert(entry);

@@ -4,6 +4,7 @@ use sim_types::{AccessKind, Cycle, TrafficClass};
 
 use crate::config::DeviceConfig;
 use crate::energy::EnergyCounter;
+use crate::service::{BoundedQueue, ServiceModel, ServiceResult};
 
 /// One access presented to a [`DramDevice`].
 ///
@@ -47,6 +48,16 @@ pub struct DeviceStats {
     pub writes: u64,
     /// Bytes moved per traffic class, indexed by [`TrafficClass::index`].
     pub bytes_by_class: [u64; 5],
+    /// Admissions that found a service queue full (bounded model only; each
+    /// queue level that pushes back counts once).
+    pub queue_stalls: u64,
+    /// Total cycles requests spent waiting for queue admission.
+    pub queue_stall_cycles: u64,
+    /// Sum over accesses of the post-issue occupancy of the channel and
+    /// bank queues the access flowed through (bounded model only).
+    pub queue_occupancy_sum: u64,
+    /// Largest single-queue occupancy ever observed.
+    pub queue_peak_occupancy: u64,
 }
 
 impl DeviceStats {
@@ -68,12 +79,43 @@ impl DeviceStats {
             self.row_hits as f64 / self.accesses as f64
         }
     }
+
+    /// Mean combined (channel + bank) queue occupancy seen per access;
+    /// 0 when idle, and identically 0 under [`ServiceModel::Unbounded`].
+    pub fn mean_queue_occupancy(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.queue_occupancy_sum as f64 / self.accesses as f64
+        }
+    }
+
+    /// Fraction of accesses that suffered at least one queue-admission
+    /// stall, in [0, 1]; 0 when idle.
+    pub fn stall_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.queue_stalls as f64 / self.accesses as f64
+        }
+    }
+
+    /// Mean queue-admission delay in cycles per access; 0 when idle.
+    pub fn mean_stall_cycles(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.queue_stall_cycles as f64 / self.accesses as f64
+        }
+    }
 }
 
 /// A DRAM device (the NM HBM2 stack or the FM DDR4 DIMMs).
 ///
-/// The device is a timing *calculator*: [`DramDevice::access`] returns the
+/// The device is a timing *calculator*: [`DramDevice::serve`] returns the
 /// CPU cycle at which the burst completes, advancing bank and bus state.
+/// Under [`ServiceModel::Queued`] a bounded FIFO per channel and per bank
+/// front-ends the calculator and charges explicit backpressure delay.
 /// Accesses must be presented in the order they reach the controller; the
 /// surrounding simulator guarantees this by processing cores
 /// smallest-cycle-first.
@@ -84,6 +126,9 @@ pub struct DramDevice {
     bus_free: Vec<Cycle>,
     stats: DeviceStats,
     energy: EnergyCounter,
+    model: ServiceModel,
+    chan_queues: Vec<BoundedQueue>,
+    bank_queues: Vec<BoundedQueue>,
     chan_mask: u64,
     chan_shift: u32,
     t_cas_cpu: u64,
@@ -100,7 +145,8 @@ impl DramDevice {
     /// with [`DeviceConfig::validate`] for a recoverable error.
     pub fn new(cfg: DeviceConfig) -> Self {
         cfg.validate().expect("invalid DRAM device configuration");
-        let banks = vec![Bank::default(); (cfg.channels * cfg.banks_per_channel) as usize];
+        let n_banks = (cfg.channels * cfg.banks_per_channel) as usize;
+        let banks = vec![Bank::default(); n_banks];
         let bus_free = vec![Cycle::ZERO; cfg.channels as usize];
         let t_cas_cpu = cfg.clock.to_cpu(cfg.t_cas);
         let t_rcd_cpu = cfg.clock.to_cpu(cfg.t_rcd);
@@ -112,6 +158,9 @@ impl DramDevice {
             bus_free,
             stats: DeviceStats::default(),
             energy: EnergyCounter::new(),
+            model: ServiceModel::Unbounded,
+            chan_queues: vec![BoundedQueue::new(); cfg.channels as usize],
+            bank_queues: vec![BoundedQueue::new(); n_banks],
             t_cas_cpu,
             t_rcd_cpu,
             t_rp_cpu,
@@ -122,6 +171,21 @@ impl DramDevice {
     /// The device configuration.
     pub fn config(&self) -> &DeviceConfig {
         &self.cfg
+    }
+
+    /// The active service model.
+    pub fn service_model(&self) -> ServiceModel {
+        self.model
+    }
+
+    /// Selects the service model. Call before issuing traffic: switching
+    /// models mid-run would mix queued and unqueued admission state.
+    pub fn set_service_model(&mut self, model: ServiceModel) {
+        debug_assert_eq!(
+            self.stats.accesses, 0,
+            "service model must be chosen before traffic flows"
+        );
+        self.model = model;
     }
 
     /// Accumulated traffic statistics.
@@ -149,18 +213,52 @@ impl DramDevice {
         (channel, bank, row)
     }
 
-    /// Serves one access and returns its completion cycle.
+    /// Serves one access and returns its completion cycle; shorthand for
+    /// [`DramDevice::serve`]`.ready`.
+    pub fn access(&mut self, a: DramAccess) -> Cycle {
+        self.serve(a).ready
+    }
+
+    /// Serves one access and returns its completion and admission cycles.
+    ///
+    /// Under [`ServiceModel::Queued`] the access is first admitted through
+    /// the bounded channel queue, then the bounded bank queue; a full queue
+    /// delays admission until its oldest in-flight entry drains
+    /// (backpressure), and the delay is charged ahead of the array timing.
+    /// Under [`ServiceModel::Unbounded`] admission is immediate and the
+    /// path below is exactly the pre-service-layer closed form.
     ///
     /// Timing: the access starts when the bank is free and the request has
-    /// arrived; a row hit pays tCAS, a row conflict pays tRP+tRCD+tCAS, an
-    /// empty bank pays tRCD+tCAS; data transfer then waits for the channel
+    /// been admitted; a row hit pays tCAS, a row conflict pays tRP+tRCD+tCAS,
+    /// an empty bank pays tRCD+tCAS; data transfer then waits for the channel
     /// data bus and occupies it for the burst duration.
-    pub fn access(&mut self, a: DramAccess) -> Cycle {
+    pub fn serve(&mut self, a: DramAccess) -> ServiceResult {
         debug_assert!(a.bytes > 0, "zero-length DRAM access");
         let (channel, bank_idx, row) = self.map(a.addr);
-        let bank = &mut self.banks[bank_idx];
 
-        let start = a.at.max(bank.ready);
+        let queued = match self.model {
+            ServiceModel::Unbounded => a.at,
+            ServiceModel::Queued { depth } => {
+                let mut t = a.at;
+                for q in [
+                    &mut self.chan_queues[channel],
+                    &mut self.bank_queues[bank_idx],
+                ] {
+                    match q.admit(t, depth) {
+                        Ok(admitted) => t = admitted,
+                        Err(bp) => {
+                            self.stats.queue_stalls += 1;
+                            self.stats.queue_stall_cycles += bp.until - t;
+                            t = bp.until;
+                        }
+                    }
+                }
+                t
+            }
+        };
+
+        let bank = &mut self.banks[bank_idx];
+        let start = queued.max(bank.ready);
         let (array_latency, activated) = match bank.open_row {
             Some(open) if open == row => (self.t_cas_cpu, false),
             Some(_) => (self.t_rp_cpu + self.t_rcd_cpu + self.t_cas_cpu, true),
@@ -174,6 +272,16 @@ impl DramDevice {
         bank.open_row = Some(row);
         bank.ready = done;
         self.bus_free[channel] = done;
+
+        if let ServiceModel::Queued { .. } = self.model {
+            self.chan_queues[channel].push(done);
+            self.bank_queues[bank_idx].push(done);
+            let chan_occ = self.chan_queues[channel].occupancy() as u64;
+            let bank_occ = self.bank_queues[bank_idx].occupancy() as u64;
+            self.stats.queue_occupancy_sum += chan_occ + bank_occ;
+            self.stats.queue_peak_occupancy =
+                self.stats.queue_peak_occupancy.max(chan_occ.max(bank_occ));
+        }
 
         self.stats.accesses += 1;
         if activated {
@@ -190,32 +298,10 @@ impl DramDevice {
         self.energy
             .add_burst(u64::from(a.bytes), self.cfg.rw_fj_per_bit);
 
-        done
-    }
-
-    /// Serves a multi-line burst (`count` back-to-back accesses of `bytes`
-    /// starting at `addr`), returning the completion of the last one.
-    /// Used for sector migrations and page fills.
-    pub fn burst(
-        &mut self,
-        addr: u64,
-        bytes: u32,
-        count: u32,
-        kind: AccessKind,
-        class: TrafficClass,
-        at: Cycle,
-    ) -> Cycle {
-        let mut done = at;
-        for i in 0..count {
-            done = self.access(DramAccess {
-                addr: addr + u64::from(i) * u64::from(bytes),
-                bytes,
-                kind,
-                class,
-                at,
-            });
+        ServiceResult {
+            ready: done,
+            queued,
         }
-        done
     }
 }
 
@@ -350,19 +436,92 @@ mod tests {
     }
 
     #[test]
-    fn burst_helper_moves_all_lines() {
+    fn unbounded_serve_admits_at_arrival() {
+        let mut dev = DramDevice::new(DeviceConfig::hbm2_near_memory());
+        let r = dev.serve(DramAccess {
+            addr: 0,
+            bytes: 64,
+            kind: AccessKind::Read,
+            class: TrafficClass::Demand,
+            at: Cycle::new(42),
+        });
+        assert_eq!(r.queued, Cycle::new(42));
+        assert!(r.ready > r.queued);
+        assert_eq!(r.queue_delay(Cycle::new(42)), 0);
+    }
+
+    #[test]
+    fn queued_depth_one_backpressures_bank_conflicts() {
         let mut dev = DramDevice::new(DeviceConfig::ddr4_far_memory());
-        let done = dev.burst(
-            0,
-            256,
-            8,
-            AccessKind::Write,
-            TrafficClass::Migration,
-            Cycle::ZERO,
+        dev.set_service_model(ServiceModel::Queued { depth: 1 });
+        let first = dev.serve(DramAccess {
+            addr: 0,
+            bytes: 64,
+            kind: AccessKind::Read,
+            class: TrafficClass::Demand,
+            at: Cycle::ZERO,
+        });
+        // Same channel, arrives while the first is still in flight: the
+        // depth-1 channel queue pushes back to the first one's drain.
+        let second = dev.serve(DramAccess {
+            addr: 64,
+            bytes: 64,
+            kind: AccessKind::Read,
+            class: TrafficClass::Demand,
+            at: Cycle::ZERO,
+        });
+        assert_eq!(second.queued, first.ready);
+        assert!(dev.stats().queue_stalls >= 1);
+        assert_eq!(
+            dev.stats().queue_stall_cycles,
+            dev.stats().queue_stalls * (first.ready - Cycle::ZERO)
         );
-        assert_eq!(dev.stats().accesses, 8);
-        assert_eq!(dev.stats().bytes(TrafficClass::Migration), 2048);
-        assert!(done > Cycle::ZERO);
+        assert!(dev.stats().stall_rate() > 0.0);
+    }
+
+    #[test]
+    fn queued_never_beats_unbounded() {
+        for depth in [1, 2, 8] {
+            let mut free = DramDevice::new(DeviceConfig::ddr4_far_memory());
+            let mut queued = DramDevice::new(DeviceConfig::ddr4_far_memory());
+            queued.set_service_model(ServiceModel::Queued { depth });
+            for i in 0..64u64 {
+                let a = DramAccess {
+                    addr: (i * 64) % 4096,
+                    bytes: 64,
+                    kind: AccessKind::Read,
+                    class: TrafficClass::Demand,
+                    at: Cycle::new(i),
+                };
+                assert!(queued.serve(a).ready >= free.serve(a).ready);
+            }
+        }
+    }
+
+    #[test]
+    fn idle_device_rates_are_zero() {
+        let dev = DramDevice::new(DeviceConfig::hbm2_near_memory());
+        let s = dev.stats();
+        assert_eq!(s.row_hit_rate(), 0.0);
+        assert_eq!(s.mean_queue_occupancy(), 0.0);
+        assert_eq!(s.stall_rate(), 0.0);
+        assert_eq!(s.mean_stall_cycles(), 0.0);
+        assert_eq!(s.queue_peak_occupancy, 0);
+    }
+
+    #[test]
+    fn unbounded_device_keeps_queue_telemetry_zero() {
+        let mut dev = DramDevice::new(DeviceConfig::hbm2_near_memory());
+        for i in 0..32u64 {
+            read_at(&mut dev, i * 64, Cycle::ZERO);
+        }
+        let s = dev.stats();
+        assert_eq!(s.queue_stalls, 0);
+        assert_eq!(s.queue_stall_cycles, 0);
+        assert_eq!(s.queue_occupancy_sum, 0);
+        assert_eq!(s.queue_peak_occupancy, 0);
+        assert_eq!(s.mean_queue_occupancy(), 0.0);
+        assert_eq!(s.stall_rate(), 0.0);
     }
 
     #[test]
@@ -439,6 +598,118 @@ mod proptests {
             prop_assert_eq!(dev.stats().total_bytes(), expect_bytes);
             prop_assert_eq!(dev.stats().reads + dev.stats().writes, ops.len() as u64);
             prop_assert_eq!(dev.stats().row_hits + dev.stats().activations, ops.len() as u64);
+        }
+
+        /// The service layer under `Unbounded` is a pure refactor: replaying
+        /// any access sequence through an independent closed-form oracle
+        /// (bank-ready / open-row / bus-free recurrence) matches `serve`
+        /// exactly, admission included.
+        #[test]
+        fn unbounded_serve_matches_closed_form_oracle(
+            ops in proptest::collection::vec((0u64..1u64<<22, 1u32..4096, any::<bool>(), 0u64..10_000), 1..200),
+            nm in any::<bool>(),
+        ) {
+            let cfg = if nm {
+                DeviceConfig::hbm2_near_memory()
+            } else {
+                DeviceConfig::ddr4_far_memory()
+            };
+            let mut dev = DramDevice::new(cfg.clone());
+            // Independent oracle state.
+            let n_banks = (cfg.channels * cfg.banks_per_channel) as usize;
+            let mut open_row: Vec<Option<u64>> = vec![None; n_banks];
+            let mut bank_ready = vec![Cycle::ZERO; n_banks];
+            let mut bus_free = vec![Cycle::ZERO; cfg.channels as usize];
+            let t_cas = cfg.clock.to_cpu(cfg.t_cas);
+            let t_rcd = cfg.clock.to_cpu(cfg.t_rcd);
+            let t_rp = cfg.clock.to_cpu(cfg.t_rp);
+            let chan_shift = cfg.interleave_bytes.trailing_zeros();
+            let chan_mask = u64::from(cfg.channels) - 1;
+
+            let mut t = Cycle::ZERO;
+            for (addr, bytes, write, gap) in ops {
+                t += gap;
+                let a = DramAccess {
+                    addr,
+                    bytes,
+                    kind: if write { AccessKind::Write } else { AccessKind::Read },
+                    class: TrafficClass::Demand,
+                    at: t,
+                };
+                // Oracle: same decomposition and recurrence as the
+                // pre-service-layer calculator.
+                let channel = ((addr >> chan_shift) & chan_mask) as usize;
+                let high = addr >> (chan_shift + chan_mask.count_ones());
+                let low = addr & ((1 << chan_shift) - 1);
+                let chan_addr = (high << chan_shift) | low;
+                let row_global = chan_addr / cfg.row_bytes;
+                let bank = channel * cfg.banks_per_channel as usize
+                    + (row_global % u64::from(cfg.banks_per_channel)) as usize;
+                let row = row_global / u64::from(cfg.banks_per_channel);
+                let start = t.max(bank_ready[bank]);
+                let lat = match open_row[bank] {
+                    Some(open) if open == row => t_cas,
+                    Some(_) => t_rp + t_rcd + t_cas,
+                    None => t_rcd + t_cas,
+                };
+                let transfer = cfg.clock.to_cpu(cfg.transfer_cycles(bytes));
+                let expect = (start + lat).max(bus_free[channel]) + transfer;
+                open_row[bank] = Some(row);
+                bank_ready[bank] = expect;
+                bus_free[channel] = expect;
+
+                let got = dev.serve(a);
+                prop_assert_eq!(got.ready, expect);
+                prop_assert_eq!(got.queued, t, "unbounded admission must be immediate");
+            }
+            prop_assert_eq!(dev.stats().queue_stalls, 0);
+            prop_assert_eq!(dev.stats().queue_occupancy_sum, 0);
+        }
+
+        /// Shrinking the service-queue depth never makes any access finish
+        /// earlier: for the same access sequence, every completion under
+        /// depth `d2 <= d1` is >= the completion under `d1` (and unbounded
+        /// lower-bounds both).
+        #[test]
+        fn smaller_depth_never_finishes_earlier(
+            ops in proptest::collection::vec((0u64..1u64<<20, 1u32..1024, any::<bool>(), 0u64..2_000), 1..150),
+            depths in (1u32..64, 1u32..64),
+            nm in any::<bool>(),
+        ) {
+            let cfg = if nm {
+                DeviceConfig::hbm2_near_memory()
+            } else {
+                DeviceConfig::ddr4_far_memory()
+            };
+            let (a, b) = depths;
+            let (small, large) = (a.min(b), a.max(b));
+            let mut dev_small = DramDevice::new(cfg.clone());
+            dev_small.set_service_model(ServiceModel::Queued { depth: small });
+            let mut dev_large = DramDevice::new(cfg.clone());
+            dev_large.set_service_model(ServiceModel::Queued { depth: large });
+            let mut dev_free = DramDevice::new(cfg);
+
+            let mut t = Cycle::ZERO;
+            for (addr, bytes, write, gap) in ops {
+                t += gap;
+                let acc = DramAccess {
+                    addr,
+                    bytes,
+                    kind: if write { AccessKind::Write } else { AccessKind::Read },
+                    class: TrafficClass::Demand,
+                    at: t,
+                };
+                let r_small = dev_small.serve(acc);
+                let r_large = dev_large.serve(acc);
+                let r_free = dev_free.serve(acc);
+                prop_assert!(
+                    r_small.ready >= r_large.ready,
+                    "depth {} finished {:?} before depth {} at {:?}",
+                    small, r_small.ready, large, r_large.ready
+                );
+                prop_assert!(r_large.ready >= r_free.ready);
+                prop_assert!(r_small.queued >= r_large.queued);
+            }
         }
 
         /// Row-buffer hits are never slower than the conflict path would be:

@@ -14,9 +14,19 @@
 //!
 //! The model captures what the paper's evaluation depends on — row-hit vs
 //! row-miss latency, bank conflicts, and bandwidth saturation of the narrow
-//! FM bus versus the wide NM interface — without simulating per-command
-//! queues. Requests are processed in arrival order per device (FCFS with an
-//! open-page row policy); see `DESIGN.md` §3 for the substitution note.
+//! FM bus versus the wide NM interface. Requests are processed in arrival
+//! order per device (FCFS with an open-page row policy); see `DESIGN.md` §3
+//! for the substitution note.
+//!
+//! All traffic flows through the ticketed service layer ([`service`]):
+//! schemes build a [`ServiceRequest`] (a [`DramAccess`] plus target side,
+//! issuing-node [`Ticket`] and burst count) and get back a
+//! [`ServiceResult`] with both completion and queue-admission cycles. The
+//! default [`ServiceModel::Unbounded`] is the closed-form reference —
+//! byte-identical to the pre-service-layer calculator — while
+//! [`ServiceModel::Queued`] bounds each channel and bank behind a FIFO of
+//! configurable depth whose overflow charges explicit [`Backpressure`]
+//! delay on top of the CAS/RCD/RP timing.
 //!
 //! The crate also defines the [`MemoryScheme`] trait implemented by Hybrid2
 //! and by every baseline scheme, so that all of them drive the same devices
@@ -54,10 +64,15 @@ mod config;
 mod device;
 mod energy;
 mod scheme;
+pub mod service;
 mod system;
 
 pub use config::{DeviceConfig, DeviceConfigError};
 pub use device::{DeviceStats, DramAccess, DramDevice};
 pub use energy::EnergyCounter;
 pub use scheme::{MemoryScheme, SchemeStats, Served};
+pub use service::{
+    Backpressure, BoundedQueue, ServiceModel, ServiceRequest, ServiceResult, Ticket,
+    DEFAULT_QUEUE_DEPTH,
+};
 pub use system::DramSystem;

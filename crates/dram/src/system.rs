@@ -1,10 +1,11 @@
 //! The two-device memory system: near memory + far memory.
 
-use sim_types::{AccessKind, Cycle, MemSide, TrafficClass};
+use sim_types::MemSide;
 
 use crate::config::DeviceConfig;
 use crate::device::{DramAccess, DramDevice};
 use crate::energy::EnergyCounter;
+use crate::service::{ServiceModel, ServiceRequest, ServiceResult};
 
 /// Near memory and far memory bundled together, as handed to schemes.
 #[derive(Clone, Debug)]
@@ -22,7 +23,8 @@ impl DramSystem {
         }
     }
 
-    /// The paper's Table 1 system: HBM2 near memory, DDR4-3200 far memory.
+    /// The paper's Table 1 system: HBM2 near memory, DDR4-3200 far memory,
+    /// [`ServiceModel::Unbounded`] service (the closed-form reference).
     pub fn paper_default() -> Self {
         Self::new(
             DeviceConfig::hbm2_near_memory(),
@@ -30,39 +32,50 @@ impl DramSystem {
         )
     }
 
-    /// Serves one access on the chosen side, returning its completion cycle.
-    pub fn access(
-        &mut self,
-        side: MemSide,
-        addr: u64,
-        bytes: u32,
-        kind: AccessKind,
-        class: TrafficClass,
-        at: Cycle,
-    ) -> Cycle {
-        self.device_mut(side).access(DramAccess {
-            addr,
-            bytes,
-            kind,
-            class,
-            at,
-        })
+    /// Selects the service model on both devices (builder form).
+    #[must_use]
+    pub fn with_service(mut self, model: ServiceModel) -> Self {
+        self.nm.set_service_model(model);
+        self.fm.set_service_model(model);
+        self
     }
 
-    /// Serves `count` back-to-back line accesses on one side (sector moves).
-    #[allow(clippy::too_many_arguments)]
-    pub fn burst(
-        &mut self,
-        side: MemSide,
-        addr: u64,
-        bytes: u32,
-        count: u32,
-        kind: AccessKind,
-        class: TrafficClass,
-        at: Cycle,
-    ) -> Cycle {
-        self.device_mut(side)
-            .burst(addr, bytes, count, kind, class, at)
+    /// The active service model (identical on both sides).
+    pub fn service_model(&self) -> ServiceModel {
+        debug_assert_eq!(self.nm.service_model(), self.fm.service_model());
+        self.nm.service_model()
+    }
+
+    /// Submits one ticketed request, returning its completion (`ready`) and
+    /// queue-admission (`queued`) cycles.
+    ///
+    /// A request with `count > 1` is served as `count` back-to-back accesses
+    /// at stride `access.bytes`, all arriving at `access.at` (sector moves,
+    /// page fills); `ready` is the completion of the last access and
+    /// `queued` the admission of the first.
+    pub fn submit(&mut self, req: ServiceRequest) -> ServiceResult {
+        let ServiceRequest {
+            side,
+            ticket: _,
+            count,
+            access,
+        } = req;
+        let dev = self.device_mut(side);
+        let mut out = ServiceResult {
+            ready: access.at,
+            queued: access.at,
+        };
+        for i in 0..count {
+            let r = dev.serve(DramAccess {
+                addr: access.addr + u64::from(i) * u64::from(access.bytes),
+                ..access
+            });
+            out.ready = r.ready;
+            if i == 0 {
+                out.queued = r.queued;
+            }
+        }
+        out
     }
 
     /// The device on `side`.
@@ -98,68 +111,82 @@ impl DramSystem {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::service::Ticket;
+    use sim_types::{AccessKind, Cycle, TrafficClass};
+
+    fn req(side: MemSide, addr: u64, kind: AccessKind, class: TrafficClass) -> ServiceRequest {
+        ServiceRequest::new(
+            side,
+            Ticket::CONTROLLER,
+            DramAccess {
+                addr,
+                bytes: 64,
+                kind,
+                class,
+                at: Cycle::ZERO,
+            },
+        )
+    }
 
     #[test]
     fn sides_route_to_distinct_devices() {
         let mut sys = DramSystem::paper_default();
-        sys.access(
-            MemSide::Nm,
-            0,
-            64,
-            AccessKind::Read,
-            TrafficClass::Demand,
-            Cycle::ZERO,
-        );
+        sys.submit(req(MemSide::Nm, 0, AccessKind::Read, TrafficClass::Demand));
         assert_eq!(sys.device(MemSide::Nm).stats().accesses, 1);
         assert_eq!(sys.device(MemSide::Fm).stats().accesses, 0);
-        sys.access(
+        sys.submit(req(
             MemSide::Fm,
             0,
-            64,
             AccessKind::Write,
             TrafficClass::Writeback,
-            Cycle::ZERO,
-        );
+        ));
         assert_eq!(sys.device(MemSide::Fm).stats().writes, 1);
     }
 
     #[test]
-    fn traffic_helper_matches_device_stats() {
+    fn counted_submit_moves_all_lines() {
         let mut sys = DramSystem::paper_default();
-        sys.burst(
-            MemSide::Fm,
-            0,
-            256,
-            8,
-            AccessKind::Read,
-            TrafficClass::Migration,
-            Cycle::ZERO,
+        let r = sys.submit(
+            ServiceRequest::new(
+                MemSide::Fm,
+                Ticket::CONTROLLER,
+                DramAccess {
+                    addr: 0,
+                    bytes: 256,
+                    kind: AccessKind::Read,
+                    class: TrafficClass::Migration,
+                    at: Cycle::ZERO,
+                },
+            )
+            .with_count(8),
         );
         assert_eq!(sys.traffic_bytes(MemSide::Fm), 2048);
         assert_eq!(sys.traffic_bytes(MemSide::Nm), 0);
+        assert_eq!(sys.device(MemSide::Fm).stats().accesses, 8);
+        assert!(r.ready > Cycle::ZERO);
+        assert_eq!(r.queued, Cycle::ZERO);
     }
 
     #[test]
     fn total_energy_merges_both_sides() {
         let mut sys = DramSystem::paper_default();
-        sys.access(
-            MemSide::Nm,
-            0,
-            64,
-            AccessKind::Read,
-            TrafficClass::Demand,
-            Cycle::ZERO,
-        );
-        sys.access(
-            MemSide::Fm,
-            0,
-            64,
-            AccessKind::Read,
-            TrafficClass::Demand,
-            Cycle::ZERO,
-        );
+        sys.submit(req(MemSide::Nm, 0, AccessKind::Read, TrafficClass::Demand));
+        sys.submit(req(MemSide::Fm, 0, AccessKind::Read, TrafficClass::Demand));
         let total = sys.total_energy();
         assert!(total.total_mj() > sys.device(MemSide::Nm).energy().total_mj());
         assert_eq!(total.activations(), 2);
+    }
+
+    #[test]
+    fn with_service_applies_to_both_sides() {
+        let model = ServiceModel::Queued { depth: 4 };
+        let sys = DramSystem::paper_default().with_service(model);
+        assert_eq!(sys.service_model(), model);
+        assert_eq!(sys.device(MemSide::Nm).service_model(), model);
+        assert_eq!(sys.device(MemSide::Fm).service_model(), model);
+        assert_eq!(
+            DramSystem::paper_default().service_model(),
+            ServiceModel::Unbounded
+        );
     }
 }

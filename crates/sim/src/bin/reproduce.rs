@@ -25,6 +25,12 @@
 //!                     1 = today's single-threaded schedule. Results are
 //!                     byte-identical for every value (CI `cmp`s
 //!                     `--machine-threads 2/4` vs the reference) [default: 1]
+//!   --service <model> memory-service model: unbounded (closed-form
+//!                     reference) or queued[:depth] (bounded per-channel/
+//!                     per-bank service queues with backpressure; depth
+//!                     defaults to 8). Unlike --batch/--machine-threads
+//!                     this knob CHANGES results — queued latencies grow
+//!                     under contention             [default: unbounded]
 //!   --shard <K/N>     run only slice K of an N-way split of the grid and
 //!                     emit the machine-readable shard cells instead of the
 //!                     rendered reports (evalsuite / scenario grids only)
@@ -46,7 +52,7 @@
 //!                         100 outputs at seed 2020 are pinned in CI)
 //!   --list                list the active scenario catalog and exit
 //!   (--scale/--instrs/--seed/--threads/--batch/--machine-threads/
-//!   --shard/--runlog/--out
+//!   --service/--shard/--runlog/--out
 //!   apply as above)
 //!
 //! merge subcommand (reassemble a sharded run):
@@ -60,6 +66,8 @@
 //!   --workload <name>     keep one workload/scenario by name
 //!   --ratio <1gb|2gb|4gb> keep one NM:FM ratio
 //!   --since-record <n>    keep records with global id >= n
+//!   --service <model>     keep one service model (unbounded, queued:8, …);
+//!                         exact match, depth included
 //!   (--out applies as above)
 //!
 //! serve subcommand (fault-tolerant cluster dispatcher, see `sim::cluster`):
@@ -74,7 +82,7 @@
 //!   --listen <addr>       listen address              [default: 127.0.0.1:0]
 //!   --addr-file <file>    write the bound address here (ephemeral ports)
 //!   (--ratio/--scale/--instrs/--seed/--threads/--batch/
-//!   --machine-threads/--runlog/--out
+//!   --machine-threads/--service/--runlog/--out
 //!   apply as above; output is byte-identical to the monolithic run)
 //!
 //! worker subcommand (one cluster worker process):
@@ -93,33 +101,37 @@
 
 use sim::experiments::{evalsuite_reports, main_matrix_timed, run_by_id, ALL_EXPERIMENTS};
 use sim::shard::{self, ShardSpec};
-use sim::{cluster, runlog, scenario, EvalConfig, GridId, NmRatio};
+use sim::{cluster, runlog, scenario, EvalConfig, GridId, NmRatio, ServiceModel};
 
 /// One-screen usage summary printed alongside every usage error.
 const USAGE: &str = "\
 usage: reproduce [--exp <id>] [--scale N] [--instrs N] [--seed N] [--threads N]
-                 [--batch N] [--machine-threads N] [--smoke] [--shard K/N]
-                 [--runlog DIR] [--out FILE] [--list]
+                 [--batch N] [--machine-threads N] [--service MODEL] [--smoke]
+                 [--shard K/N] [--runlog DIR] [--out FILE] [--list]
        reproduce scenario <name|all> [--spec FILE | --generate N]
                  [--ratio 1gb|2gb|4gb] [--scale N]
                  [--instrs N] [--seed N] [--threads N] [--batch N]
-                 [--machine-threads N] [--shard K/N] [--runlog DIR]
-                 [--out FILE] [--list]
+                 [--machine-threads N] [--service MODEL] [--shard K/N]
+                 [--runlog DIR] [--out FILE] [--list]
        reproduce merge <file>... [--out FILE]
        reproduce query <dir|file>... [--scheme TOK] [--workload NAME]
-                 [--ratio 1gb|2gb|4gb] [--since-record N] [--out FILE]
+                 [--ratio 1gb|2gb|4gb] [--service MODEL] [--since-record N]
+                 [--out FILE]
        reproduce serve <scenario:<name|all>|eval:smoke|eval:full
                  |generated:<count>:<seed>:<name|all>
                  |specfile:<path>:<name|all>>
                  [--shards N] [--workers-expected K] [--deadline-secs S]
                  [--listen ADDR] [--addr-file FILE] [--ratio 1gb|2gb|4gb]
                  [--scale N] [--instrs N] [--seed N] [--threads N]
-                 [--batch N] [--machine-threads N] [--runlog DIR] [--out FILE]
+                 [--batch N] [--machine-threads N] [--service MODEL]
+                 [--runlog DIR] [--out FILE]
        reproduce worker <host:port> [--threads N] [--fault-stall-secs S]
                  [--fault-duplicate]
 
 run `reproduce --list` for experiment ids, `reproduce scenario --list`
-for the scenario catalog; see the module docs for flag semantics.";
+for the scenario catalog; see the module docs for flag semantics.
+MODEL is unbounded (the closed-form reference, default) or
+queued[:depth] (bounded per-channel/per-bank service queues).";
 
 /// A fully parsed command line.
 #[derive(Debug, PartialEq)]
@@ -177,9 +189,9 @@ fn flag_value<T: std::str::FromStr>(args: &[String], i: usize, name: &str) -> Re
 }
 
 /// Consumes one of the sizing flags shared by every run subcommand
-/// (`--scale/--instrs/--seed/--threads/--batch/--machine-threads`) at
-/// `args[i]`, returning the next index, or `None` if `args[i]` is some
-/// other argument.
+/// (`--scale/--instrs/--seed/--threads/--batch/--machine-threads/
+/// --service`) at `args[i]`, returning the next index, or `None` if
+/// `args[i]` is some other argument.
 fn parse_sizing_flag(
     cfg: &mut EvalConfig,
     args: &[String],
@@ -203,6 +215,12 @@ fn parse_sizing_flag(
                     "--machine-threads must be at least 1 (1 = single-threaded stepping)".into(),
                 );
             }
+        }
+        "--service" => {
+            let v = args.get(i + 1).ok_or("--service needs a value")?;
+            cfg.service = ServiceModel::parse(v).ok_or_else(|| {
+                format!("--service needs unbounded or queued[:depth] (depth >= 1), got {v:?}")
+            })?;
         }
         _ => return Ok(None),
     }
@@ -523,6 +541,13 @@ fn parse_query(args: &[String]) -> Result<Command, String> {
             }
             "--since-record" => {
                 query.since_record = Some(flag_value(args, i, "--since-record")?);
+                i += 2;
+            }
+            "--service" => {
+                let v = args.get(i + 1).ok_or("--service needs a value")?;
+                query.service = Some(ServiceModel::parse(v).ok_or_else(|| {
+                    format!("--service needs unbounded or queued[:depth], got {v:?}")
+                })?);
                 i += 2;
             }
             "--out" => {
@@ -1088,6 +1113,8 @@ mod tests {
             "2gb",
             "--since-record",
             "56",
+            "--service",
+            "queued:8",
             "--out",
             "q.txt",
         ])
@@ -1099,14 +1126,22 @@ mod tests {
                 assert_eq!(query.workload.as_deref(), Some("stream-chase"));
                 assert_eq!(query.ratio, Some(NmRatio::TwoGb));
                 assert_eq!(query.since_record, Some(56));
+                assert_eq!(query.service, Some(ServiceModel::Queued { depth: 8 }));
                 assert_eq!(out.as_deref(), Some("q.txt"));
             }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Absent service filter means "any model".
+        match parse(&["query", "rundir"]).unwrap() {
+            Command::Query { query, .. } => assert_eq!(query.service, None),
             other => panic!("unexpected {other:?}"),
         }
         // Bad values are usage errors (exit 2), never panics.
         assert!(parse(&["query"]).unwrap_err().contains("at least one"));
         let e = parse(&["query", "rundir", "--scheme", "quantum-cache"]).unwrap_err();
         assert!(e.contains("quantum-cache"), "{e}");
+        let e = parse(&["query", "rundir", "--service", "bogus"]).unwrap_err();
+        assert!(e.contains("--service"), "{e}");
         let e = parse(&["query", "rundir", "--ratio", "8gb"]).unwrap_err();
         assert!(e.contains("8gb"), "{e}");
         let e = parse(&["query", "rundir", "--since-record", "many"]).unwrap_err();
@@ -1215,6 +1250,48 @@ mod tests {
         assert!(parse(&["scenario", "all", "--machine-threads", "0"])
             .unwrap_err()
             .contains("at least 1"));
+    }
+
+    #[test]
+    fn service_flag_parses_and_validates() {
+        match parse(&["--service", "queued:4"]).unwrap() {
+            Command::Eval { cfg, .. } => {
+                assert_eq!(cfg.service, ServiceModel::Queued { depth: 4 })
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Bare `queued` takes the default depth.
+        match parse(&["scenario", "all", "--service", "queued"]).unwrap() {
+            Command::Scenario { cfg, .. } => {
+                assert_eq!(
+                    cfg.service,
+                    ServiceModel::Queued {
+                        depth: sim::DEFAULT_QUEUE_DEPTH
+                    }
+                )
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Default when the flag is absent: the closed-form reference.
+        match parse(&[]).unwrap() {
+            Command::Eval { cfg, .. } => assert_eq!(cfg.service, ServiceModel::Unbounded),
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&["--service", "unbounded"]).unwrap() {
+            Command::Eval { cfg, .. } => assert_eq!(cfg.service, ServiceModel::Unbounded),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Bad values are usage errors (exit 2), never panics.
+        assert!(parse(&["--service"]).unwrap_err().contains("--service"));
+        assert!(parse(&["--service", "warp"])
+            .unwrap_err()
+            .contains("--service"));
+        assert!(parse(&["--service", "queued:0"])
+            .unwrap_err()
+            .contains("depth"));
+        assert!(parse(&["scenario", "all", "--service", "queued:"])
+            .unwrap_err()
+            .contains("--service"));
     }
 
     #[test]

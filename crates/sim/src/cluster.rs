@@ -61,7 +61,7 @@ use crate::shard::{self, GridId, ShardSpec};
 
 /// Protocol version token exchanged in `hello`/`welcome`; bumped on any
 /// wire-format change.
-pub const PROTO_VERSION: &str = "hybrid2-cluster-v1";
+pub const PROTO_VERSION: &str = "hybrid2-cluster-v2";
 
 /// Socket read timeout used as the poll granularity of every blocking
 /// read — each tick re-checks the shutdown flag, so no thread can sit in
@@ -231,6 +231,9 @@ pub(crate) struct LeaseJob {
     /// Epoch-batch knob (byte-identical for every value; carried so the
     /// whole cluster schedules the same way).
     pub batch: u64,
+    /// Memory-service model (result-affecting: a queued slice is a
+    /// different experiment from an unbounded one).
+    pub service: dram::ServiceModel,
 }
 
 /// Encodes a `lease` line.
@@ -242,20 +245,22 @@ pub(crate) fn encode_lease(
     cfg: &EvalConfig,
 ) -> String {
     format!(
-        "lease\t{lease}\t{spec}\t{}\t{}\t{}\t{}\t{}\t{}",
+        "lease\t{lease}\t{spec}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
         grid_token(grid),
         shard::ratio_token(ratio),
         cfg.scale_den,
         cfg.instrs_per_core,
         cfg.seed,
-        cfg.batch
+        cfg.batch,
+        cfg.service.token()
     )
 }
 
 /// Parses a `lease` line back to the job.
 pub(crate) fn parse_lease(line: &str) -> Result<LeaseJob, String> {
     let cols: Vec<&str> = line.split('\t').collect();
-    let [tag, lease, spec, grid, ratio, scale, instrs, seed, batch] = cols.as_slice() else {
+    let [tag, lease, spec, grid, ratio, scale, instrs, seed, batch, service] = cols.as_slice()
+    else {
         return Err(format!("malformed lease line {line:?}"));
     };
     if *tag != "lease" {
@@ -270,6 +275,8 @@ pub(crate) fn parse_lease(line: &str) -> Result<LeaseJob, String> {
         instrs_per_core: shard::parse_u64(instrs, "instrs")?,
         seed: shard::parse_u64(seed, "seed")?,
         batch: shard::parse_u64(batch, "batch")?,
+        service: dram::ServiceModel::parse(service)
+            .ok_or_else(|| format!("unknown service model {service:?}"))?,
     })
 }
 
@@ -1280,6 +1287,7 @@ fn run_lease(
         // Machine-level stepping is a local scheduling choice, not part
         // of the leased work description (results are identical).
         machine_threads: 1,
+        service: job.service,
     };
     let stop = AtomicBool::new(false);
     let run = thread::scope(|s| {
@@ -1375,6 +1383,15 @@ mod tests {
         assert_eq!(job.instrs_per_core, 60_000);
         assert_eq!(job.seed, 7);
         assert_eq!(job.batch, cfg.batch as u64);
+        assert_eq!(job.service, cfg.service);
+
+        let mut queued = cfg;
+        queued.service = dram::ServiceModel::Queued { depth: 4 };
+        let line = encode_lease(18, spec, &grid, NmRatio::TwoGb, &queued);
+        assert_eq!(
+            parse_lease(&line).unwrap().service,
+            dram::ServiceModel::Queued { depth: 4 }
+        );
         for bad in [
             "",
             "lease\t1",

@@ -58,6 +58,7 @@ pub mod scenario;
 pub mod shard;
 
 pub use any_scheme::AnyScheme;
+pub use dram::{ServiceModel, DEFAULT_QUEUE_DEPTH};
 pub use machine::{Machine, RunResult, DEFAULT_BATCH};
 pub use matrix::{ClassSummary, Matrix};
 pub use page_alloc::PageAllocator;

@@ -77,6 +77,15 @@ pub struct RunResult {
     pub energy_mj: f64,
     /// Measured footprint in bytes (distinct pages touched).
     pub footprint: u64,
+    /// Mean NM service-queue occupancy observed at admission (0 under the
+    /// unbounded model, which never materialises queues).
+    pub nm_queue_mean: f64,
+    /// Peak NM service-queue occupancy observed at admission.
+    pub nm_queue_max: u64,
+    /// Mean FM service-queue occupancy observed at admission.
+    pub fm_queue_mean: f64,
+    /// Peak FM service-queue occupancy observed at admission.
+    pub fm_queue_max: u64,
     /// The scheme's own counters.
     pub stats: SchemeStats,
 }
@@ -813,6 +822,10 @@ impl Machine {
             nm_traffic: self.dram.traffic_bytes(MemSide::Nm),
             energy_mj: self.dram.total_energy().total_mj(),
             footprint: self.pages.footprint_bytes(),
+            nm_queue_mean: self.dram.device(MemSide::Nm).stats().mean_queue_occupancy(),
+            nm_queue_max: self.dram.device(MemSide::Nm).stats().queue_peak_occupancy,
+            fm_queue_mean: self.dram.device(MemSide::Fm).stats().mean_queue_occupancy(),
+            fm_queue_max: self.dram.device(MemSide::Fm).stats().queue_peak_occupancy,
             stats: self.scheme.stats().clone(),
         }
     }

@@ -492,6 +492,10 @@ mod tests {
             nm_traffic: 0,
             energy_mj: 0.0,
             footprint: 0,
+            nm_queue_mean: 0.0,
+            nm_queue_max: 0,
+            fm_queue_mean: 0.0,
+            fm_queue_max: 0,
             stats: Default::default(),
         };
         let specs = [catalog::by_name("lbm").unwrap().clone()];

@@ -36,7 +36,7 @@ use std::fs::{File, OpenOptions};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
-use dram::SchemeStats;
+use dram::{SchemeStats, ServiceModel};
 use sim_types::stats::geomean;
 
 use crate::machine::RunResult;
@@ -51,11 +51,13 @@ use crate::shard::{
 
 /// First line of every run-record file; bumped on any format change.
 /// v2 appended the cluster-dispatcher lease telemetry columns
-/// (`lease_wall_secs`, `redeals`).
-pub const VERSION: &str = "hybrid2-runlog-v2";
+/// (`lease_wall_secs`, `redeals`); v3 appended the memory-service
+/// columns (`service_model`, `queue_depth`, per-side mean/max
+/// queue-occupancy).
+pub const VERSION: &str = "hybrid2-runlog-v3";
 
 /// Number of tab-separated columns in a `record` row.
-pub const REC_COLS: usize = 39;
+pub const REC_COLS: usize = 45;
 
 /// File-name suffix of every record file inside a run directory.
 pub const FILE_SUFFIX: &str = ".runlog.tsv";
@@ -152,6 +154,21 @@ pub struct RunRecord {
     /// slice before a result was accepted (dead/stalled workers). 0 for
     /// non-cluster sources and for slices completed on the first deal.
     pub redeals: u64,
+    /// The memory-service model the run simulated under (a
+    /// result-affecting knob, unlike batch/threads).
+    pub service_model: ServiceModel,
+    /// The per-node queue depth of the service model (0 under the
+    /// unbounded model); redundant with `service_model` but kept as its
+    /// own column so queries can aggregate on depth directly.
+    pub queue_depth: u64,
+    /// Mean NM service-queue occupancy at admission (0 when unbounded).
+    pub nm_queue_mean: f64,
+    /// Peak NM service-queue occupancy at admission.
+    pub nm_queue_max: u64,
+    /// Mean FM service-queue occupancy at admission.
+    pub fm_queue_mean: f64,
+    /// Peak FM service-queue occupancy at admission.
+    pub fm_queue_max: u64,
 }
 
 impl RunRecord {
@@ -178,6 +195,10 @@ impl RunRecord {
             nm_traffic,
             energy_mj,
             footprint,
+            nm_queue_mean,
+            nm_queue_max,
+            fm_queue_mean,
+            fm_queue_max,
             ref stats,
         } = *r;
         RunRecord {
@@ -206,6 +227,12 @@ impl RunRecord {
             mem_ops_per_sec: ops_per_sec(mem_ops, wall_secs),
             lease_wall_secs: 0.0,
             redeals: 0,
+            service_model: cfg.service,
+            queue_depth: u64::from(cfg.service.queue_depth()),
+            nm_queue_mean,
+            nm_queue_max,
+            fm_queue_mean,
+            fm_queue_max,
         }
     }
 
@@ -234,10 +261,12 @@ pub fn ops_per_sec(mem_ops: u64, secs: f64) -> f64 {
 }
 
 /// FNV-1a digest over the *result-affecting* knobs (ratio, scale,
-/// instrs, seed). Threads, batch and machine-threads are deliberately
-/// excluded — the scheduler's byte-identity contracts make them
-/// irrelevant to results, so records from a `--batch 1` reference run
-/// pair with batched or parallel-stepped runs.
+/// instrs, seed, service model). Threads, batch and machine-threads are
+/// deliberately excluded — the scheduler's byte-identity contracts make
+/// them irrelevant to results, so records from a `--batch 1` reference
+/// run pair with batched or parallel-stepped runs. The service model is
+/// *included*: bounded queues change every latency, so a queued record
+/// must never pair with an unbounded baseline.
 pub fn config_digest(ratio: NmRatio, cfg: &EvalConfig) -> u64 {
     // Exhaustive destructure: adding an EvalConfig field forces a
     // decision on whether it affects results.
@@ -248,10 +277,12 @@ pub fn config_digest(ratio: NmRatio, cfg: &EvalConfig) -> u64 {
         threads: _,
         batch: _,
         machine_threads: _,
+        service,
     } = *cfg;
     let canon = format!(
-        "ratio={};scale={scale_den};instrs={instrs_per_core};seed={seed}",
-        ratio_token(ratio)
+        "ratio={};scale={scale_den};instrs={instrs_per_core};seed={seed};service={}",
+        ratio_token(ratio),
+        service.token()
     );
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for b in canon.bytes() {
@@ -296,6 +327,12 @@ fn encode_record(rec: &RunRecord, seq: u64) -> String {
         mem_ops_per_sec,
         lease_wall_secs,
         redeals,
+        service_model,
+        queue_depth,
+        nm_queue_mean,
+        nm_queue_max,
+        fm_queue_mean,
+        fm_queue_max,
     } = *rec;
     let SchemeStats {
         requests,
@@ -321,7 +358,8 @@ fn encode_record(rec: &RunRecord, seq: u64) -> String {
          {footprint}\t{requests}\t{reads}\t{writes}\t{served_from_nm}\t{lookup_hits}\t\
          {lookup_misses}\t{moved_into_nm}\t{moved_out_of_nm}\t{dirty_writebacks}\t\
          {metadata_reads}\t{metadata_writes}\t{fetched_bytes}\t{used_bytes}\t{wall_secs}\t\
-         {mem_ops_per_sec}\t{lease_wall_secs}\t{redeals}",
+         {mem_ops_per_sec}\t{lease_wall_secs}\t{redeals}\t{service}\t{queue_depth}\t\
+         {nm_queue_mean}\t{nm_queue_max}\t{fm_queue_mean}\t{fm_queue_max}",
         source = sanitize(source),
         workload = sanitize(workload),
         kind = kind_token(kind),
@@ -333,6 +371,9 @@ fn encode_record(rec: &RunRecord, seq: u64) -> String {
         wall_secs = f64_bits(wall_secs),
         mem_ops_per_sec = f64_bits(mem_ops_per_sec),
         lease_wall_secs = f64_bits(lease_wall_secs),
+        service = service_model.token(),
+        nm_queue_mean = f64_bits(nm_queue_mean),
+        fm_queue_mean = f64_bits(fm_queue_mean),
     );
     line
 }
@@ -384,6 +425,13 @@ fn decode_record(cols: &[&str]) -> Result<(u64, RunRecord), String> {
         mem_ops_per_sec: fb(36, "mem_ops_per_sec")?,
         lease_wall_secs: fb(37, "lease_wall_secs")?,
         redeals: u(38, "redeals")?,
+        service_model: ServiceModel::parse(cols[39])
+            .ok_or_else(|| format!("unknown service model {:?}", cols[39]))?,
+        queue_depth: u(40, "queue_depth")?,
+        nm_queue_mean: fb(41, "nm_queue_mean")?,
+        nm_queue_max: u(42, "nm_queue_max")?,
+        fm_queue_mean: fb(43, "fm_queue_mean")?,
+        fm_queue_max: u(44, "fm_queue_max")?,
     };
     Ok((seq, rec))
 }
@@ -662,6 +710,9 @@ pub struct Query {
     pub workload: Option<String>,
     /// Keep records of this NM:FM ratio only.
     pub ratio: Option<NmRatio>,
+    /// Keep records of this memory-service model only (exact match,
+    /// depth included: `queued:8` does not match `queued:4`).
+    pub service: Option<ServiceModel>,
     /// Keep records with a global record id ≥ this.
     pub since_record: Option<usize>,
 }
@@ -672,6 +723,7 @@ impl Query {
             && self.scheme.is_none_or(|k| r.kind == k)
             && self.workload.as_deref().is_none_or(|w| r.workload == w)
             && self.ratio.is_none_or(|rt| r.ratio == rt)
+            && self.service.is_none_or(|s| r.service_model == s)
     }
 }
 
@@ -865,6 +917,16 @@ mod tests {
             mem_ops_per_sec: ops_per_sec(13 * slot + 3, 1e-9 * (slot + 1) as f64),
             lease_wall_secs: 0.25 * slot as f64 + f64::MIN_POSITIVE,
             redeals: slot % 4,
+            service_model: if slot.is_multiple_of(2) {
+                ServiceModel::Unbounded
+            } else {
+                ServiceModel::Queued { depth: slot as u32 }
+            },
+            queue_depth: if slot.is_multiple_of(2) { 0 } else { slot },
+            nm_queue_mean: -0.0 + slot as f64 / 7.0,
+            nm_queue_max: slot * 2,
+            fm_queue_mean: f64::MIN_POSITIVE * (slot + 1) as f64,
+            fm_queue_max: slot,
         }
     }
 
@@ -895,6 +957,12 @@ mod tests {
         assert_eq!(a.mem_ops_per_sec.to_bits(), b.mem_ops_per_sec.to_bits());
         assert_eq!(a.lease_wall_secs.to_bits(), b.lease_wall_secs.to_bits());
         assert_eq!(a.redeals, b.redeals);
+        assert_eq!(a.service_model, b.service_model);
+        assert_eq!(a.queue_depth, b.queue_depth);
+        assert_eq!(a.nm_queue_mean.to_bits(), b.nm_queue_mean.to_bits());
+        assert_eq!(a.nm_queue_max, b.nm_queue_max);
+        assert_eq!(a.fm_queue_mean.to_bits(), b.fm_queue_mean.to_bits());
+        assert_eq!(a.fm_queue_max, b.fm_queue_max);
     }
 
     #[test]
@@ -927,6 +995,21 @@ mod tests {
         assert_ne!(
             config_digest(NmRatio::OneGb, &a),
             config_digest(NmRatio::TwoGb, &a)
+        );
+        // The service model is a result-affecting knob: changing it (or
+        // just the depth) must change the digest, so queued records never
+        // pair with unbounded baselines.
+        let mut q = a;
+        q.service = ServiceModel::Queued { depth: 8 };
+        assert_ne!(
+            config_digest(NmRatio::OneGb, &a),
+            config_digest(NmRatio::OneGb, &q)
+        );
+        let mut q4 = a;
+        q4.service = ServiceModel::Queued { depth: 4 };
+        assert_ne!(
+            config_digest(NmRatio::OneGb, &q),
+            config_digest(NmRatio::OneGb, &q4)
         );
     }
 
@@ -1050,6 +1133,22 @@ mod tests {
         );
         assert!(filtered[0].render().contains("records: 4 of 6"));
 
+        // Service filter is exact: unbounded matches the 3 even slots,
+        // queued:3 matches exactly slot 3, queued:8 matches nothing.
+        let by_service = |s| {
+            run_query(
+                &store,
+                &Query {
+                    service: Some(s),
+                    ..Query::default()
+                },
+            )[0]
+            .render()
+        };
+        assert!(by_service(ServiceModel::Unbounded).contains("records: 3 of 6"));
+        assert!(by_service(ServiceModel::Queued { depth: 3 }).contains("records: 1 of 6"));
+        assert!(by_service(ServiceModel::Queued { depth: 8 }).contains("records: 0 of 6"));
+
         // Zero matches still renders (the zero-row tables plus counts).
         let none = run_query(
             &store,
@@ -1108,6 +1207,10 @@ mod tests {
                 nm_traffic: rec.nm_traffic,
                 energy_mj: rec.energy_mj,
                 footprint: rec.footprint,
+                nm_queue_mean: 0.0,
+                nm_queue_max: 0,
+                fm_queue_mean: 0.0,
+                fm_queue_max: 0,
                 stats: rec.stats.clone(),
             },
             0.5,

@@ -4,7 +4,7 @@ use baselines::{
     Chameleon, ChameleonConfig, Dfc, DfcConfig, FmOnly, IdealCache, IdealCacheConfig, Lgm,
     LgmConfig, MemPod, MemPodConfig, Tagless, TaglessConfig,
 };
-use dram::DramSystem;
+use dram::{DramSystem, ServiceModel};
 use hybrid2_core::{Dcmc, Hybrid2Config, Variant};
 use mem_cache::Hierarchy;
 use sim_types::Geometry;
@@ -83,6 +83,12 @@ pub struct EvalConfig {
     /// byte-identical results (pinned by `tests/batched_differential.rs`),
     /// so it is excluded from the run-record config digest. Default 1.
     pub machine_threads: usize,
+    /// Memory-service model (`--service`): [`ServiceModel::Unbounded`] is
+    /// the closed-form reference path; `Queued { depth }` engages bounded
+    /// per-channel/per-bank service queues with backpressure. Unlike
+    /// `batch`/`machine_threads` this is a *semantic* knob — it changes
+    /// results and is part of the config digest.
+    pub service: ServiceModel,
 }
 
 impl EvalConfig {
@@ -100,6 +106,7 @@ impl EvalConfig {
                 .unwrap_or(4),
             batch: DEFAULT_BATCH,
             machine_threads: 1,
+            service: ServiceModel::Unbounded,
         }
     }
 
@@ -113,6 +120,7 @@ impl EvalConfig {
             threads: 4,
             batch: DEFAULT_BATCH,
             machine_threads: 1,
+            service: ServiceModel::Unbounded,
         }
     }
 }
@@ -248,7 +256,7 @@ pub fn run_one(
         8,
         hierarchy,
         scheme,
-        DramSystem::paper_default(),
+        DramSystem::paper_default().with_service(cfg.service),
         workload,
         cfg.seed,
     );

@@ -34,7 +34,7 @@
 
 use std::fmt;
 
-use dram::SchemeStats;
+use dram::{SchemeStats, ServiceModel};
 use workloads::{Catalog, Scenario, WorkloadSpec};
 
 use crate::machine::RunResult;
@@ -45,10 +45,12 @@ use crate::scale::{NmRatio, ScaledSystem};
 use crate::{experiments, scenario, Matrix};
 
 /// First line of every shard file; bumped on any format change.
-const VERSION: &str = "hybrid2-shard-v1";
+/// v2 added the `service` header line and the four queue-occupancy
+/// cell columns of the queued memory-service model.
+const VERSION: &str = "hybrid2-shard-v2";
 
 /// Number of tab-separated columns in a `cell` row.
-const CELL_COLS: usize = 27;
+const CELL_COLS: usize = 31;
 
 /// One slice of an `N`-way grid split, as written on the CLI: `K/N` with
 /// `K` in `1..=N`.
@@ -388,6 +390,7 @@ pub(crate) fn check_slice(
         || f.scale_den != cfg.scale_den
         || f.instrs_per_core != cfg.instrs_per_core
         || f.seed != cfg.seed
+        || f.service != cfg.service
     {
         return Err("payload header disagrees with the dispatched job".to_owned());
     }
@@ -478,6 +481,7 @@ fn encode(
     out.push_str(&format!("scale\t{}\n", cfg.scale_den));
     out.push_str(&format!("instrs\t{}\n", cfg.instrs_per_core));
     out.push_str(&format!("seed\t{}\n", cfg.seed));
+    out.push_str(&format!("service\t{}\n", cfg.service.token()));
     out.push_str(&format!("shard\t{shard}\n"));
     out.push_str(&format!("cells\t{}\n", cells.len()));
     for (key, r, _secs) in cells {
@@ -496,6 +500,10 @@ fn encode(
             nm_traffic,
             energy_mj,
             footprint,
+            nm_queue_mean,
+            nm_queue_max,
+            fm_queue_mean,
+            fm_queue_max,
             ref stats,
         } = *r;
         let SchemeStats {
@@ -518,12 +526,15 @@ fn encode(
              {mpki}\t{nm_served}\t{fm_traffic}\t{nm_traffic}\t{energy}\t{footprint}\t\
              {requests}\t{reads}\t{writes}\t{served_from_nm}\t{lookup_hits}\t{lookup_misses}\t\
              {moved_into_nm}\t{moved_out_of_nm}\t{dirty_writebacks}\t{metadata_reads}\t\
-             {metadata_writes}\t{fetched_bytes}\t{used_bytes}\n",
+             {metadata_writes}\t{fetched_bytes}\t{used_bytes}\t{nm_q_mean}\t{nm_queue_max}\t\
+             {fm_q_mean}\t{fm_queue_max}\n",
             slot = key.slot,
             kind = kind_token(key.kind),
             mpki = f64_bits(mpki),
             nm_served = f64_bits(nm_served),
             energy = f64_bits(energy_mj),
+            nm_q_mean = f64_bits(nm_queue_mean),
+            fm_q_mean = f64_bits(fm_queue_mean),
         ));
     }
     out
@@ -546,6 +557,10 @@ struct DecodedCell {
     nm_traffic: u64,
     energy_mj: f64,
     footprint: u64,
+    nm_queue_mean: f64,
+    nm_queue_max: u64,
+    fm_queue_mean: f64,
+    fm_queue_max: u64,
     stats: SchemeStats,
 }
 
@@ -556,6 +571,7 @@ struct ShardFile {
     scale_den: u64,
     instrs_per_core: u64,
     seed: u64,
+    service: ServiceModel,
     shard: ShardSpec,
     cells: Vec<DecodedCell>,
 }
@@ -617,6 +633,9 @@ fn decode(contents: &str) -> Result<ShardFile, String> {
     let scale_den = parse_u64(&one(header("scale")?, "scale")?, "scale")?;
     let instrs_per_core = parse_u64(&one(header("instrs")?, "instrs")?, "instrs")?;
     let seed = parse_u64(&one(header("seed")?, "seed")?, "seed")?;
+    let service_tok = one(header("service")?, "service")?;
+    let service = ServiceModel::parse(&service_tok)
+        .ok_or_else(|| format!("unknown service model {service_tok:?}"))?;
     let shard = ShardSpec::parse(&one(header("shard")?, "shard")?)?;
     let cell_count = parse_usize(&one(header("cells")?, "cells")?, "cells")?;
     if scale_den == 0 || scale_den > 1 << 30 {
@@ -656,6 +675,10 @@ fn decode(contents: &str) -> Result<ShardFile, String> {
             nm_traffic: u(11, "nm_traffic")?,
             energy_mj: parse_f64_bits(cols[12], "energy_mj")?,
             footprint: u(13, "footprint")?,
+            nm_queue_mean: parse_f64_bits(cols[27], "nm_queue_mean")?,
+            nm_queue_max: u(28, "nm_queue_max")?,
+            fm_queue_mean: parse_f64_bits(cols[29], "fm_queue_mean")?,
+            fm_queue_max: u(30, "fm_queue_max")?,
             stats: SchemeStats {
                 requests: u(14, "requests")?,
                 reads: u(15, "reads")?,
@@ -685,6 +708,7 @@ fn decode(contents: &str) -> Result<ShardFile, String> {
         scale_den,
         instrs_per_core,
         seed,
+        service,
         shard,
         cells,
     })
@@ -704,6 +728,8 @@ pub struct Merged {
     pub instrs_per_core: u64,
     /// RNG seed of the run.
     pub seed: u64,
+    /// The memory-service model every shard ran under.
+    pub service: ServiceModel,
     /// The full grid, exactly as a monolithic run computes it.
     pub matrix: Matrix,
 }
@@ -770,10 +796,11 @@ pub fn merge(inputs: &[(String, String)]) -> Result<Merged, String> {
             || f.scale_den != head.scale_den
             || f.instrs_per_core != head.instrs_per_core
             || f.seed != head.seed
+            || f.service != head.service
         {
             return Err(format!(
-                "{name}: header disagrees with {first_name} (grid/ratio/scale/instrs/seed must \
-                 match across shards)"
+                "{name}: header disagrees with {first_name} (grid/ratio/scale/instrs/seed/service \
+                 must match across shards)"
             ));
         }
         if f.shard.count != head.shard.count {
@@ -859,6 +886,10 @@ pub fn merge(inputs: &[(String, String)]) -> Result<Merged, String> {
                 nm_traffic: cell.nm_traffic,
                 energy_mj: cell.energy_mj,
                 footprint: cell.footprint,
+                nm_queue_mean: cell.nm_queue_mean,
+                nm_queue_max: cell.nm_queue_max,
+                fm_queue_mean: cell.fm_queue_mean,
+                fm_queue_max: cell.fm_queue_max,
                 stats: cell.stats.clone(),
             });
         }
@@ -874,6 +905,7 @@ pub fn merge(inputs: &[(String, String)]) -> Result<Merged, String> {
         scale_den: head.scale_den,
         instrs_per_core: head.instrs_per_core,
         seed: head.seed,
+        service: head.service,
         matrix: Matrix::assemble(&kinds, &specs, head.ratio, flat),
     })
 }
@@ -977,6 +1009,10 @@ mod tests {
                     nm_traffic: x << 18,
                     energy_mj: 1e-300 * (x + 1) as f64,
                     footprint: 4096 * x,
+                    nm_queue_mean: -0.0 + x as f64 / 7.0,
+                    nm_queue_max: 2 * x,
+                    fm_queue_mean: f64::MIN_POSITIVE * (x + 1) as f64,
+                    fm_queue_max: x,
                     stats: SchemeStats {
                         requests: x,
                         reads: x / 2,
@@ -1051,8 +1087,13 @@ mod tests {
             assert_eq!(got.mpki.to_bits(), want.mpki.to_bits());
             assert_eq!(got.nm_served.to_bits(), want.nm_served.to_bits());
             assert_eq!(got.energy_mj.to_bits(), want.energy_mj.to_bits());
+            assert_eq!(got.nm_queue_mean.to_bits(), want.nm_queue_mean.to_bits());
+            assert_eq!(got.nm_queue_max, want.nm_queue_max);
+            assert_eq!(got.fm_queue_mean.to_bits(), want.fm_queue_mean.to_bits());
+            assert_eq!(got.fm_queue_max, want.fm_queue_max);
             assert_eq!(got.stats, want.stats);
         }
+        assert_eq!(merged.service, dram::ServiceModel::Unbounded);
     }
 
     #[test]
@@ -1148,6 +1189,22 @@ mod tests {
         let mut bad_seed = files.clone();
         bad_seed[1].1 = bad_seed[1].1.replace("seed\t11", "seed\t12");
         assert!(merge(&bad_seed).unwrap_err().contains("disagrees"));
+
+        // Shards simulated under different service models must never
+        // merge: a queued slice is a different experiment.
+        let mut bad_service = files.clone();
+        bad_service[1].1 = bad_service[1]
+            .1
+            .replace("service\tunbounded", "service\tqueued:8");
+        assert!(merge(&bad_service).unwrap_err().contains("disagrees"));
+
+        // An unknown service token is a decode error naming the file.
+        let mut bad_token = files.clone();
+        bad_token[0].1 = bad_token[0]
+            .1
+            .replace("service\tunbounded", "service\twarp-speed");
+        let e = merge(&bad_token).unwrap_err();
+        assert!(e.contains("service model"), "{e}");
 
         let mut bad_version = files.clone();
         bad_version[0].1 = bad_version[0].1.replacen(VERSION, "hybrid2-shard-v0", 1);

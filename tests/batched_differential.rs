@@ -34,6 +34,10 @@ fn assert_bitwise_eq(a: &RunResult, b: &RunResult, ctx: &str) {
         nm_traffic,
         energy_mj,
         footprint,
+        nm_queue_mean,
+        nm_queue_max,
+        fm_queue_mean,
+        fm_queue_max,
         stats,
     } = a;
     assert_eq!(*scheme, b.scheme, "{ctx}: scheme");
@@ -55,6 +59,18 @@ fn assert_bitwise_eq(a: &RunResult, b: &RunResult, ctx: &str) {
         "{ctx}: energy bits"
     );
     assert_eq!(*footprint, b.footprint, "{ctx}: footprint");
+    assert_eq!(
+        nm_queue_mean.to_bits(),
+        b.nm_queue_mean.to_bits(),
+        "{ctx}: nm_queue_mean bits"
+    );
+    assert_eq!(*nm_queue_max, b.nm_queue_max, "{ctx}: nm_queue_max");
+    assert_eq!(
+        fm_queue_mean.to_bits(),
+        b.fm_queue_mean.to_bits(),
+        "{ctx}: fm_queue_mean bits"
+    );
+    assert_eq!(*fm_queue_max, b.fm_queue_max, "{ctx}: fm_queue_max");
     let SchemeStats {
         requests,
         reads,
